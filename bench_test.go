@@ -1,0 +1,291 @@
+package patterndp
+
+// Benchmark harness: one benchmark per figure/illustration of the paper's
+// evaluation (Fig. 3 and both halves of Fig. 4), plus component benchmarks
+// for the substrates the experiments run on. The figure benchmarks print the
+// regenerated series once, so `go test -bench=.` both measures and reports.
+//
+// Scale note: the figure benchmarks run a reduced-but-faithful configuration
+// (fewer repetitions/datasets than the paper's 1000) so a full bench run
+// stays in minutes; cmd/ppmbench runs the same code at any scale.
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"patterndp/internal/baseline"
+	"patterndp/internal/cep"
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/event"
+	"patterndp/internal/experiment"
+	"patterndp/internal/stream"
+	"patterndp/internal/synth"
+	"patterndp/internal/taxi"
+)
+
+var (
+	printTaxiOnce  sync.Once
+	printSynthOnce sync.Once
+	printFig3Once  sync.Once
+)
+
+// benchFig4Config is the reduced Fig. 4 configuration used by benchmarks.
+func benchFig4Config() experiment.Fig4Config {
+	cfg := experiment.DefaultFig4Config(1)
+	cfg.Reps = 2
+	cfg.SynthDatasets = 2
+	cfg.TaxiCfg.GridW, cfg.TaxiCfg.GridH = 10, 10
+	cfg.TaxiCfg.NumTaxis = 30
+	cfg.TaxiCfg.Ticks = 300
+	cfg.Adaptive.MaxIters = 10
+	scfg := synth.DefaultConfig(0)
+	scfg.NumWindows = 400
+	cfg.SynthCfg = scfg
+	return cfg
+}
+
+// BenchmarkFig4Taxi regenerates Fig. 4 (left): MRE vs ε on the Taxi dataset
+// for uniform, adaptive, BD, BA and landmark.
+func BenchmarkFig4Taxi(b *testing.B) {
+	cfg := benchFig4Config()
+	for i := 0; i < b.N; i++ {
+		rs, err := experiment.Fig4Taxi(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTaxiOnce.Do(func() {
+			b.StopTimer()
+			experiment.WriteTable(os.Stdout, "\nFig. 4 (left): MRE vs eps — Taxi", rs)
+			b.StartTimer()
+		})
+	}
+}
+
+// BenchmarkFig4Synthetic regenerates Fig. 4 (right): MRE vs ε averaged over
+// synthetic datasets from Algorithm 2.
+func BenchmarkFig4Synthetic(b *testing.B) {
+	cfg := benchFig4Config()
+	for i := 0; i < b.N; i++ {
+		rs, err := experiment.Fig4Synthetic(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printSynthOnce.Do(func() {
+			b.StopTimer()
+			experiment.WriteTable(os.Stdout, "\nFig. 4 (right): MRE vs eps — synthetic", rs)
+			b.StartTimer()
+		})
+	}
+}
+
+// BenchmarkFig3BudgetSplit regenerates the uniform budget distribution
+// illustration of Fig. 3.
+func BenchmarkFig3BudgetSplit(b *testing.B) {
+	printFig3Once.Do(func() {
+		_ = experiment.BudgetSplitDemo(os.Stdout, 1.0, 4)
+	})
+	for i := 0; i < b.N; i++ {
+		d, err := dp.UniformDistribution(1.0, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = dp.ComposedEpsilon(d.FlipProbs())
+	}
+}
+
+// --- Component benchmarks -------------------------------------------------
+
+func benchIndicatorWindows(n int) []core.IndicatorWindow {
+	ds, err := synth.Generate(synth.Config{
+		NumTypes: 20, NumWindows: n, NumPatterns: 20, PatternLen: 3,
+		NumPrivate: 3, NumTarget: 5, WindowWidth: 100, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ds.IndicatorWindows()
+}
+
+// BenchmarkUniformPPMRun measures the uniform PPM's release throughput.
+func BenchmarkUniformPPMRun(b *testing.B) {
+	pt, _ := core.NewPatternType("p", "e1", "e2", "e3")
+	ppm, err := core.NewUniformPPM(1.0, pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wins := benchIndicatorWindows(200)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ppm.Run(rng, wins)
+	}
+}
+
+// BenchmarkAdaptiveFit measures a full Algorithm 1 fit.
+func BenchmarkAdaptiveFit(b *testing.B) {
+	pt, _ := core.NewPatternType("p", "e1", "e2", "e3")
+	wins := benchIndicatorWindows(200)
+	targets := []cep.Expr{cep.SeqTypes("e1", "e2", "e4")}
+	cfg := core.AdaptiveConfig{Epsilon: 1, Alpha: 0.5, MaxIters: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewAdaptivePPM(cfg, wins, targets, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBDRun / BenchmarkBARun / BenchmarkLandmarkRun measure the
+// baselines' release throughput on the same windows.
+func BenchmarkBDRun(b *testing.B) {
+	benchBaseline(b, func(p core.PatternType) (core.Mechanism, error) {
+		return baseline.NewBudgetDistribution(baseline.WEventConfig{
+			PatternEpsilon: 1, W: 10, Private: []core.PatternType{p},
+		})
+	})
+}
+
+func BenchmarkBARun(b *testing.B) {
+	benchBaseline(b, func(p core.PatternType) (core.Mechanism, error) {
+		return baseline.NewBudgetAbsorption(baseline.WEventConfig{
+			PatternEpsilon: 1, W: 10, Private: []core.PatternType{p},
+		})
+	})
+}
+
+func BenchmarkLandmarkRun(b *testing.B) {
+	benchBaseline(b, func(p core.PatternType) (core.Mechanism, error) {
+		return baseline.NewLandmark(baseline.LandmarkConfig{
+			PatternEpsilon: 1, Private: []core.PatternType{p},
+		})
+	})
+}
+
+func benchBaseline(b *testing.B, build func(core.PatternType) (core.Mechanism, error)) {
+	b.Helper()
+	pt, _ := core.NewPatternType("p", "e1", "e2", "e3")
+	mech, err := build(pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wins := benchIndicatorWindows(200)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mech.Run(rng, wins)
+	}
+}
+
+// BenchmarkNFAFeed measures streaming sequence matching throughput.
+func BenchmarkNFAFeed(b *testing.B) {
+	seq := cep.SeqTypes("a", "b", "c")
+	evs := make([]event.Event, 0, 3000)
+	rng := rand.New(rand.NewSource(7))
+	types := []event.Type{"a", "b", "c", "x", "y"}
+	for i := 0; i < 3000; i++ {
+		evs = append(evs, event.New(types[rng.Intn(len(types))], event.Timestamp(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := cep.CompileSeq("q", seq, 50, cep.WithMaxRuns(256))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = m.FeedAll(evs)
+	}
+}
+
+// BenchmarkEvalWindow measures batch window evaluation of a composite query.
+func BenchmarkEvalWindow(b *testing.B) {
+	expr := cep.AndOf(cep.SeqTypes("a", "b"), cep.OrOf(cep.E("c"), cep.NegOf(cep.E("d"))))
+	w := stream.Window{Start: 0, End: 100}
+	rng := rand.New(rand.NewSource(9))
+	types := []event.Type{"a", "b", "c", "d", "x"}
+	for i := 0; i < 50; i++ {
+		w.Events = append(w.Events, event.New(types[rng.Intn(len(types))], event.Timestamp(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = cep.EvalWindow(expr, w)
+	}
+}
+
+// BenchmarkDetectionProbability measures the adaptive PPM's quality oracle.
+func BenchmarkDetectionProbability(b *testing.B) {
+	expr := cep.SeqTypes("e1", "e2", "e3")
+	truth := map[event.Type]bool{"e1": true, "e2": false, "e3": true}
+	flip := map[event.Type]float64{"e1": 0.2, "e2": 0.3, "e3": 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.DetectionProbability(expr, truth, flip, nil)
+	}
+}
+
+// BenchmarkTaxiGenerate measures the fleet simulator.
+func BenchmarkTaxiGenerate(b *testing.B) {
+	cfg := taxi.DefaultConfig(1)
+	cfg.NumTaxis = 30
+	cfg.Ticks = 300
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := taxi.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthGenerate measures Algorithm 2.
+func BenchmarkSynthGenerate(b *testing.B) {
+	cfg := synth.DefaultConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeEvents measures the k-way stream merge.
+func BenchmarkMergeEvents(b *testing.B) {
+	mk := func(src string) []event.Event {
+		out := make([]event.Event, 1000)
+		for i := range out {
+			out[i] = event.New("e", event.Timestamp(i)).WithSource(src)
+		}
+		return out
+	}
+	s1, s2, s3 := mk("a"), mk("b"), mk("c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan struct{})
+		merged := stream.MergeEvents(done,
+			stream.FromSlice(s1), stream.FromSlice(s2), stream.FromSlice(s3))
+		for range merged {
+		}
+		close(done)
+	}
+}
+
+// BenchmarkPrivateEngineProcess measures the end-to-end service phase.
+func BenchmarkPrivateEngineProcess(b *testing.B) {
+	pt, _ := core.NewPatternType("p", "e1", "e2")
+	ppm, _ := core.NewUniformPPM(1, pt)
+	pe, err := core.NewPrivateEngine(ppm, []core.PatternType{pt}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pe.RegisterTarget(cep.Query{Name: "t", Pattern: cep.SeqTypes("e1", "e3"), Window: 100}); err != nil {
+		b.Fatal(err)
+	}
+	ds, _ := synth.Generate(synth.DefaultConfig(2))
+	evs := ds.Events()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pe.ProcessEvents(evs, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command dpaudit empirically audits the pattern-level DP guarantee of the
+// shipped mechanisms: it constructs neighboring inputs for a private pattern,
+// samples releases, and reports the observed log-likelihood ratios against
+// the claimed ε.
+//
+// Usage:
+//
+//	dpaudit -eps 1.0 -m 3 -trials 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/event"
+)
+
+func main() {
+	var (
+		eps    = flag.Float64("eps", 1.0, "claimed pattern-level budget")
+		m      = flag.Int("m", 3, "private pattern length")
+		trials = flag.Int("trials", 100000, "samples per neighbor input")
+		seed   = flag.Int64("seed", 1, "audit seed")
+	)
+	flag.Parse()
+	if err := run(*eps, *m, *trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dpaudit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(eps float64, m, trials int, seed int64) error {
+	elements := make([]event.Type, m)
+	for i := range elements {
+		elements[i] = event.Type(fmt.Sprintf("e%d", i+1))
+	}
+	pt, err := core.NewPatternType("audited", elements...)
+	if err != nil {
+		return err
+	}
+	uniform, err := core.NewUniformPPM(dp.Epsilon(eps), pt)
+	if err != nil {
+		return err
+	}
+	count, err := core.NewCountPPM(dp.Epsilon(eps), pt)
+	if err != nil {
+		return err
+	}
+	aud := core.Auditor{Trials: trials, Seed: seed}
+	baseline := map[event.Type]bool{"public": true}
+
+	for _, mech := range []core.Mechanism{uniform, count} {
+		results, err := aud.AuditPattern(mech, pt, baseline, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mechanism %q, claimed eps = %.3f, trials = %d\n",
+			mech.Name(), eps, trials)
+		for _, r := range results {
+			label := "all elements"
+			if r.Flipped != "" {
+				label = "element " + string(r.Flipped)
+			}
+			fmt.Printf("  %-16s observed ratio %.4f\n", label, r.Certificate.MaxObservedRatio)
+		}
+		v := core.Summarize(results, 0.1)
+		status := "PASS"
+		if !v.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("  verdict: %s (full-pattern %.4f vs eps %.3f + slack)\n\n",
+			status, v.FullPattern, eps)
+	}
+	return nil
+}

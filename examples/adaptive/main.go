@@ -1,0 +1,69 @@
+// Adaptive budget allocation example: watch Algorithm 1 at work.
+//
+// The example constructs a workload where one element of the private pattern
+// is pivotal for the target query and another is nearly irrelevant, then
+// prints the budget allocation the bidirectional stepwise search converges
+// to for several step sizes, alongside the expected data quality.
+//
+// Run: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"patterndp"
+	"patterndp/internal/core"
+)
+
+func main() {
+	private, err := patterndp.NewPatternType("route", "pickup", "via-bridge", "dropoff")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The consumer only cares about bridge congestion: SEQ(via-bridge, slow).
+	target := patterndp.SeqTypes("via-bridge", "slow")
+
+	// History: "pickup" and "dropoff" are everywhere (no information),
+	// "via-bridge" is the pivotal element, "slow" is public.
+	rng := rand.New(rand.NewSource(5))
+	var history []patterndp.IndicatorWindow
+	for i := 0; i < 400; i++ {
+		bridge := rng.Float64() < 0.4
+		history = append(history, patterndp.IndicatorWindow{
+			Index: i,
+			Present: map[patterndp.EventType]bool{
+				"pickup":     rng.Float64() < 0.97,
+				"via-bridge": bridge,
+				"dropoff":    rng.Float64() < 0.97,
+				"slow":       bridge && rng.Float64() < 0.8 || rng.Float64() < 0.1,
+			},
+		})
+	}
+
+	const eps = 1.2
+	uniform, err := patterndp.NewUniformPPM(eps, private)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qUniform := core.ExpectedQuality(history, []patterndp.Expr{target}, uniform.FlipProbs(), 0.5, nil)
+	fmt.Printf("uniform allocation: eps_i = %.3f each, expected Q = %.4f\n\n", eps/3, qUniform)
+
+	fmt.Printf("%-10s %-28s %-10s %-6s\n", "step", "fitted allocation", "Q", "moves")
+	for _, step := range []float64{0.005, 0.01, 0.05} {
+		adaptive, err := patterndp.NewAdaptivePPM(patterndp.AdaptiveConfig{
+			Epsilon: eps, Alpha: 0.5, StepFactor: step, Seed: 9,
+		}, history, []patterndp.Expr{target}, private)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := adaptive.Distribution(0)
+		fmt.Printf("%-10.3f [%.3f %.3f %.3f]          %-10.4f %-6d\n",
+			step,
+			float64(d.Part(0)), float64(d.Part(1)), float64(d.Part(2)),
+			adaptive.FittedQuality(), adaptive.Iterations())
+	}
+	fmt.Println("\nelement order: [pickup via-bridge dropoff] — the search concentrates")
+	fmt.Println("budget on via-bridge, the only element the target query depends on.")
+}

@@ -1,0 +1,66 @@
+// Taxi example: the paper's motivating scenario at fleet scale.
+//
+// A simulated taxi fleet streams GPS fixes. A fifth of the city is a private
+// area (trips there must not be revealed); half of the city is queried by
+// location-based services. The example measures the data quality delivered
+// to the services with the uniform pattern-level PPM versus a stream-level
+// w-event baseline at the same converted budget.
+//
+// Run: go run ./examples/taxi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"patterndp"
+	"patterndp/internal/baseline"
+	"patterndp/internal/core"
+	"patterndp/internal/taxi"
+)
+
+func main() {
+	cfg := taxi.DefaultConfig(7)
+	cfg.NumTaxis = 40
+	cfg.Ticks = 400
+	ds, err := taxi.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %d taxis, %d ticks, %d GPS fixes on a %dx%d grid\n",
+		cfg.NumTaxis, cfg.Ticks, len(ds.Events), cfg.GridW, cfg.GridH)
+	fmt.Printf("areas: %d private cells, %d target cells, %d overlap\n\n",
+		len(ds.PrivateCells), len(ds.TargetCells), len(ds.OverlapCells()))
+
+	private := ds.PrivateTypes()
+	targets := ds.TargetExprs()
+	windows := patterndp.IndicatorWindows(ds.Windows(5), ds.AllCellTypes())
+
+	const eps = 1.0
+	const alpha = 0.5
+
+	// Pattern-level: uniform PPM.
+	uniform, err := patterndp.NewUniformPPM(eps, private...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stream-level baseline: budget absorption at the same converted budget.
+	ba, err := baseline.NewBudgetAbsorption(baseline.WEventConfig{
+		PatternEpsilon: eps, W: 10, Private: private,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %-10s %-10s %-10s\n", "mechanism", "precision", "recall", "Q")
+	for _, mech := range []core.Mechanism{core.Identity{}, uniform, ba} {
+		rng := rand.New(rand.NewSource(99))
+		released := mech.Run(rng, windows)
+		q, conf := core.MeasuredQuality(windows, released, targets, alpha)
+		fmt.Printf("%-22s %-10.4f %-10.4f %-10.4f\n",
+			mech.Name(), conf.Precision(), conf.Recall(), q)
+	}
+	fmt.Println("\nthe uniform PPM only perturbs private-area cells, so most target")
+	fmt.Println("cells are answered exactly; the w-event baseline noises every cell.")
+}

@@ -1,0 +1,155 @@
+package cep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+// Detector is the continuous-detection front end of the engine: it runs one
+// incremental NFA per registered sequence query and emits pattern instances
+// the moment they complete, without waiting for window boundaries. Window
+// answers (the engine's EvaluateWindow) and instance detection (Detector)
+// are the two service modes of a CEP deployment; the PPMs operate on the
+// windowed mode, while the detector feeds monitoring dashboards and the
+// pattern streams of Fig. 1.
+type Detector struct {
+	mu       sync.Mutex
+	matchers map[string]*NFA
+	maxRuns  int
+}
+
+// DetectorOption configures a Detector.
+type DetectorOption func(*Detector)
+
+// WithDetectorMaxRuns bounds the partial matches kept per query.
+func WithDetectorMaxRuns(n int) DetectorOption {
+	return func(d *Detector) { d.maxRuns = n }
+}
+
+// NewDetector returns an empty detector.
+func NewDetector(opts ...DetectorOption) *Detector {
+	d := &Detector{matchers: make(map[string]*NFA)}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Register compiles and adds a sequence query. Only Seq-of-atom patterns
+// run incrementally; composite queries belong to the windowed engine.
+func (d *Detector) Register(q Query) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	s, ok := q.Pattern.(*Seq)
+	if !ok {
+		return fmt.Errorf("cep: detector supports sequence queries, %q is %T", q.Name, q.Pattern)
+	}
+	var opts []NFAOption
+	if d.maxRuns > 0 {
+		opts = append(opts, WithMaxRuns(d.maxRuns))
+	}
+	m, err := CompileSeq(q.Name, s, q.Window, opts...)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.matchers[q.Name] = m
+	return nil
+}
+
+// Unregister removes a query and its partial matches.
+func (d *Detector) Unregister(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.matchers, name)
+}
+
+// Queries lists registered query names in sorted order.
+func (d *Detector) Queries() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.matchers))
+	for name := range d.matchers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Feed advances every matcher with one event and returns completed
+// instances sorted by query name.
+func (d *Detector) Feed(e event.Event) []event.Pattern {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.matchers))
+	for name := range d.matchers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []event.Pattern
+	for _, name := range names {
+		out = append(out, d.matchers[name].Feed(e)...)
+	}
+	return out
+}
+
+// Reset discards all partial matches of all queries.
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range d.matchers {
+		m.Reset()
+	}
+}
+
+// Stats reports per-query active partial matches and evictions.
+type DetectorStats struct {
+	// Query names the matcher.
+	Query string
+	// ActiveRuns is the number of live partial matches.
+	ActiveRuns int
+	// Dropped counts partial matches evicted by the maxRuns bound.
+	Dropped uint64
+}
+
+// Stats returns matcher statistics sorted by query name.
+func (d *Detector) Stats() []DetectorStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]DetectorStats, 0, len(d.matchers))
+	for name, m := range d.matchers {
+		out = append(out, DetectorStats{
+			Query:      name,
+			ActiveRuns: m.ActiveRuns(),
+			Dropped:    m.Dropped(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	return out
+}
+
+// Run consumes an event stream and emits the pattern stream SP of Fig. 1:
+// every completed instance, as it completes. It terminates when the input
+// closes or done is closed.
+func (d *Detector) Run(done <-chan struct{}, in stream.Stream[event.Event]) stream.Stream[event.Pattern] {
+	out := make(chan event.Pattern)
+	go func() {
+		defer close(out)
+		for e := range in {
+			for _, p := range d.Feed(e) {
+				select {
+				case out <- p:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	return out
+}

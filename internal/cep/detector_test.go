@@ -1,0 +1,129 @@
+package cep
+
+import (
+	"sync"
+	"testing"
+
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+func TestDetectorRegisterValidation(t *testing.T) {
+	d := NewDetector()
+	if err := d.Register(Query{Name: "q", Pattern: AndOf(E("a"), E("b")), Window: 5}); err == nil {
+		t.Error("composite query accepted")
+	}
+	if err := d.Register(Query{Name: "", Pattern: SeqTypes("a"), Window: 5}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if err := d.Register(Query{Name: "q", Pattern: SeqTypes("a", "b"), Window: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if qs := d.Queries(); len(qs) != 1 || qs[0] != "q" {
+		t.Errorf("Queries = %v", qs)
+	}
+}
+
+func TestDetectorFeedDetects(t *testing.T) {
+	d := NewDetector()
+	d.Register(Query{Name: "ab", Pattern: SeqTypes("a", "b"), Window: 10})
+	d.Register(Query{Name: "ba", Pattern: SeqTypes("b", "a"), Window: 10})
+	var all []event.Pattern
+	for _, e := range []event.Event{
+		event.New("a", 1), event.New("b", 2), event.New("a", 3),
+	} {
+		all = append(all, d.Feed(e)...)
+	}
+	// ab completes at b@2; ba completes at a@3.
+	if len(all) != 2 {
+		t.Fatalf("detections = %v", all)
+	}
+	if all[0].Name != "ab" || all[1].Name != "ba" {
+		t.Errorf("names = %s, %s", all[0].Name, all[1].Name)
+	}
+}
+
+func TestDetectorUnregisterAndReset(t *testing.T) {
+	d := NewDetector()
+	d.Register(Query{Name: "q", Pattern: SeqTypes("a", "b"), Window: 10})
+	d.Feed(event.New("a", 1))
+	d.Reset()
+	if got := d.Feed(event.New("b", 2)); len(got) != 0 {
+		t.Error("match survived Reset")
+	}
+	d.Unregister("q")
+	if len(d.Queries()) != 0 {
+		t.Error("Unregister failed")
+	}
+	if got := d.Feed(event.New("a", 3)); len(got) != 0 {
+		t.Error("unregistered query still matching")
+	}
+}
+
+func TestDetectorStats(t *testing.T) {
+	d := NewDetector(WithDetectorMaxRuns(2))
+	if err := d.Register(Query{Name: "q", Pattern: SeqTypes("a", "b"), Window: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d.Feed(event.New("a", event.Timestamp(i)))
+	}
+	st := d.Stats()
+	if len(st) != 1 || st[0].Query != "q" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[0].ActiveRuns != 2 {
+		t.Errorf("ActiveRuns = %d, want 2 (bounded)", st[0].ActiveRuns)
+	}
+	if st[0].Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", st[0].Dropped)
+	}
+}
+
+func TestDetectorRunStream(t *testing.T) {
+	d := NewDetector()
+	d.Register(Query{Name: "q", Pattern: SeqTypes("a", "b"), Window: 10})
+	done := make(chan struct{})
+	defer close(done)
+	in := stream.FromSlice([]event.Event{
+		event.New("a", 1), event.New("x", 2), event.New("b", 3),
+		event.New("a", 20), event.New("b", 31), // window 10 expired: no match
+	})
+	got := stream.Collect(d.Run(done, in))
+	if len(got) != 1 {
+		t.Fatalf("pattern stream = %v", got)
+	}
+	if got[0].Start() != 1 || got[0].End() != 3 {
+		t.Errorf("instance spans [%d,%d]", got[0].Start(), got[0].End())
+	}
+}
+
+func TestDetectorConcurrentFeedSafe(t *testing.T) {
+	// Feed and Stats from multiple goroutines must not race (run with
+	// -race to verify). Detections may interleave arbitrarily; we only
+	// check totals.
+	d := NewDetector()
+	if err := d.Register(Query{Name: "q", Pattern: SeqTypes("a"), Window: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				got := d.Feed(event.New("a", event.Timestamp(g*1000+i)))
+				mu.Lock()
+				total += len(got)
+				mu.Unlock()
+				d.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if total != 400 {
+		t.Errorf("total detections = %d, want 400", total)
+	}
+}

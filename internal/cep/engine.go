@@ -1,0 +1,152 @@
+package cep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+// Query is a registered continuous query: a named pattern expression plus
+// the window width within which the pattern must complete. In the paper's
+// system model, data subjects register queries describing private patterns
+// and data consumers register queries describing target patterns; both are
+// ordinary queries to the engine.
+type Query struct {
+	// Name identifies the query and labels its detections.
+	Name string
+	// Pattern is the expression to detect.
+	Pattern Expr
+	// Window is the logical-time width within which a match must complete.
+	Window event.Timestamp
+}
+
+// Validate reports structural errors in the query.
+func (q Query) Validate() error {
+	if q.Name == "" {
+		return fmt.Errorf("cep: query with empty name")
+	}
+	if q.Pattern == nil {
+		return fmt.Errorf("cep: query %q has nil pattern", q.Name)
+	}
+	if err := q.Pattern.validate(); err != nil {
+		return fmt.Errorf("cep: query %q: %w", q.Name, err)
+	}
+	if q.Window <= 0 {
+		return fmt.Errorf("cep: query %q has non-positive window %d", q.Name, q.Window)
+	}
+	return nil
+}
+
+// Detection is one query answer: the window it refers to and whether the
+// pattern was present, with the witness instance when it was.
+type Detection struct {
+	// Query is the name of the answered query.
+	Query string
+	// Window is the half-open interval the answer refers to.
+	Window stream.Window
+	// Detected is the binary answer the paper's PPMs protect.
+	Detected bool
+	// Witness holds one matching instance when Detected is true.
+	Witness event.Pattern
+}
+
+// Engine is the trusted CEP engine: it owns the set of registered queries
+// and answers them over windows of the merged event stream. Engine is safe
+// for concurrent use.
+type Engine struct {
+	mu      sync.RWMutex
+	queries map[string]Query
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{queries: make(map[string]Query)}
+}
+
+// Register adds a query. Registering a name twice replaces the old query.
+func (g *Engine) Register(q Query) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.queries[q.Name] = q
+	return nil
+}
+
+// Unregister removes a query by name. Removing an unknown name is a no-op.
+func (g *Engine) Unregister(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.queries, name)
+}
+
+// Query returns the registered query with the given name.
+func (g *Engine) Query(name string) (Query, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	q, ok := g.queries[name]
+	return q, ok
+}
+
+// Queries returns all registered queries sorted by name.
+func (g *Engine) Queries() []Query {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Query, 0, len(g.queries))
+	for _, q := range g.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// EvaluateWindow answers every registered query against one window and
+// returns detections sorted by query name.
+func (g *Engine) EvaluateWindow(w stream.Window) []Detection {
+	queries := g.Queries()
+	out := make([]Detection, 0, len(queries))
+	for _, q := range queries {
+		ok, witness := EvalWindow(q.Pattern, w)
+		d := Detection{Query: q.Name, Window: w, Detected: ok}
+		if ok {
+			d.Witness = event.Pattern{Name: q.Name, Events: witness}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Run consumes an event stream, cuts it into tumbling windows of the given
+// width, and emits the detections for every window. It terminates when the
+// input closes or done is closed.
+func (g *Engine) Run(done <-chan struct{}, in stream.Stream[event.Event], width event.Timestamp) stream.Stream[Detection] {
+	out := make(chan Detection)
+	go func() {
+		defer close(out)
+		for w := range stream.Tumbling(done, in, width) {
+			for _, d := range g.EvaluateWindow(w) {
+				select {
+				case out <- d:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// DetectSeq runs an incremental NFA for a sequence query over a whole event
+// slice and returns every instance. It is a convenience wrapper over
+// CompileSeq + FeedAll for callers that need instances, not window answers.
+func DetectSeq(name string, s *Seq, window event.Timestamp, evs []event.Event) ([]event.Pattern, error) {
+	m, err := CompileSeq(name, s, window)
+	if err != nil {
+		return nil, err
+	}
+	return m.FeedAll(evs), nil
+}

@@ -1,0 +1,167 @@
+package cep
+
+import (
+	"fmt"
+
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+// EvalWindow evaluates the expression against the events of one window and
+// reports whether the pattern occurs there, plus one witness instance (the
+// constituent events) when it does. For Neg the witness is empty.
+//
+// Semantics:
+//   - Atom: at least one event in the window matches type and predicate.
+//   - Seq:  the parts match strictly increasing timestamps.
+//   - And:  every part matches somewhere in the window.
+//   - Or:   at least one part matches.
+//   - Neg:  the inner expression does not match.
+func EvalWindow(e Expr, w stream.Window) (bool, []event.Event) {
+	switch x := e.(type) {
+	case *Atom:
+		for _, ev := range w.Events {
+			if x.Matches(ev) {
+				return true, []event.Event{ev}
+			}
+		}
+		return false, nil
+	case *Seq:
+		return evalSeq(x.Parts, w, -1<<62)
+	case *And:
+		var witness []event.Event
+		for _, p := range x.Parts {
+			ok, evs := EvalWindow(p, w)
+			if !ok {
+				return false, nil
+			}
+			witness = append(witness, evs...)
+		}
+		return true, witness
+	case *Or:
+		for _, p := range x.Parts {
+			if ok, evs := EvalWindow(p, w); ok {
+				return true, evs
+			}
+		}
+		return false, nil
+	case *Neg:
+		ok, _ := EvalWindow(x.Inner, w)
+		return !ok, nil
+	case *Times:
+		n, witness := countOccurrences(x.Inner, w)
+		if n < x.Min || (x.Max != 0 && n > x.Max) {
+			return false, nil
+		}
+		return true, witness
+	default:
+		panic(fmt.Sprintf("cep: unknown expression node %T", e))
+	}
+}
+
+// evalSeq matches parts in order with each part's witness strictly after the
+// previous part's witness end time. after is the exclusive lower bound for
+// the next match's start.
+func evalSeq(parts []Expr, w stream.Window, after event.Timestamp) (bool, []event.Event) {
+	if len(parts) == 0 {
+		return true, nil
+	}
+	head, rest := parts[0], parts[1:]
+	// Try every feasible witness of the head part, earliest first, and
+	// recurse. Earliest-first keeps the search linear in common cases.
+	switch x := head.(type) {
+	case *Atom:
+		for _, ev := range w.Events {
+			if ev.Time <= after || !x.Matches(ev) {
+				continue
+			}
+			ok, tail := evalSeq(rest, w, ev.Time)
+			if ok {
+				return true, append([]event.Event{ev}, tail...)
+			}
+		}
+		return false, nil
+	default:
+		// Composite head: evaluate it against the sub-window after
+		// `after`; its witness end becomes the new bound.
+		sub := stream.Window{Start: w.Start, End: w.End}
+		for _, ev := range w.Events {
+			if ev.Time > after {
+				sub.Events = append(sub.Events, ev)
+			}
+		}
+		ok, evs := EvalWindow(head, sub)
+		if !ok {
+			return false, nil
+		}
+		end := after
+		for _, ev := range evs {
+			if ev.Time > end {
+				end = ev.Time
+			}
+		}
+		ok, tail := evalSeq(rest, w, end)
+		if !ok {
+			return false, nil
+		}
+		return true, append(evs, tail...)
+	}
+}
+
+// EvalIndicators evaluates the expression against per-type presence
+// indicators instead of concrete events. This is the query path used after a
+// randomized-response PPM has perturbed the existence bits I(e_i): temporal
+// order inside the window is no longer observable, so Seq degrades to "all
+// types present" — exactly the binary-answer query class the paper assumes
+// (a pattern is detected iff all its elements are detected in the window).
+//
+// Predicates cannot be applied to an indicator; atoms with predicates are
+// treated by type only.
+func EvalIndicators(e Expr, present map[event.Type]bool) bool {
+	switch x := e.(type) {
+	case *Atom:
+		return present[x.Type]
+	case *Seq:
+		for _, p := range x.Parts {
+			if !EvalIndicators(p, present) {
+				return false
+			}
+		}
+		return true
+	case *And:
+		for _, p := range x.Parts {
+			if !EvalIndicators(p, present) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, p := range x.Parts {
+			if EvalIndicators(p, present) {
+				return true
+			}
+		}
+		return false
+	case *Neg:
+		return !EvalIndicators(x.Inner, present)
+	case *Times:
+		// A released existence bit can witness one occurrence at most.
+		if x.Min > 1 {
+			return false
+		}
+		return EvalIndicators(x.Inner, present)
+	default:
+		panic(fmt.Sprintf("cep: unknown expression node %T", e))
+	}
+}
+
+// Indicators extracts the per-type presence map of a window, restricted to
+// the given types. This is the vector I(e) = (I(e1), …, I(en)) that the
+// randomized-response mechanisms take as input.
+func Indicators(w stream.Window, types []event.Type) map[event.Type]bool {
+	out := make(map[event.Type]bool, len(types))
+	for _, t := range types {
+		out[t] = w.Contains(t)
+	}
+	return out
+}

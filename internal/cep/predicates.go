@@ -1,0 +1,89 @@
+package cep
+
+import (
+	"patterndp/internal/event"
+)
+
+// Attribute predicate helpers for building filtered atoms. All helpers
+// return false for events missing the attribute or holding a different
+// kind, so filters never match on absent data.
+
+// AttrEq matches events whose attribute k equals v.
+func AttrEq(k string, v event.Value) Predicate {
+	return func(e event.Event) bool {
+		got, ok := e.Attr(k)
+		return ok && got.Equal(v)
+	}
+}
+
+// AttrGT matches events whose numeric attribute k is strictly greater than
+// threshold. Int attributes are widened to float64.
+func AttrGT(k string, threshold float64) Predicate {
+	return func(e event.Event) bool {
+		got, ok := e.Attr(k)
+		if !ok {
+			return false
+		}
+		f, ok := got.AsFloat()
+		return ok && f > threshold
+	}
+}
+
+// AttrLT matches events whose numeric attribute k is strictly less than
+// threshold.
+func AttrLT(k string, threshold float64) Predicate {
+	return func(e event.Event) bool {
+		got, ok := e.Attr(k)
+		if !ok {
+			return false
+		}
+		f, ok := got.AsFloat()
+		return ok && f < threshold
+	}
+}
+
+// AttrBetween matches events whose numeric attribute k lies in [lo, hi].
+func AttrBetween(k string, lo, hi float64) Predicate {
+	return func(e event.Event) bool {
+		got, ok := e.Attr(k)
+		if !ok {
+			return false
+		}
+		f, ok := got.AsFloat()
+		return ok && f >= lo && f <= hi
+	}
+}
+
+// SourceIs matches events from one originating stream.
+func SourceIs(src string) Predicate {
+	return func(e event.Event) bool { return e.Source == src }
+}
+
+// AllOf combines predicates conjunctively.
+func AllOf(ps ...Predicate) Predicate {
+	return func(e event.Event) bool {
+		for _, p := range ps {
+			if !p(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// AnyOf combines predicates disjunctively.
+func AnyOf(ps ...Predicate) Predicate {
+	return func(e event.Event) bool {
+		for _, p := range ps {
+			if p(e) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not inverts a predicate.
+func Not(p Predicate) Predicate {
+	return func(e event.Event) bool { return !p(e) }
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"patterndp/internal/event"
+)
+
+// Auditor empirically verifies a mechanism's pattern-level DP guarantee: it
+// builds neighboring window inputs (differing in the elements of one private
+// pattern instance), samples the mechanism's releases on both, and bounds
+// the observed log-likelihood ratio. A mechanism whose certificate exceeds
+// ε + slack is either buggy or claiming a guarantee it does not have.
+//
+// The audit is a falsification tool, not a proof: passing certifies nothing
+// beyond the sampled neighborhood, but failing is conclusive.
+type Auditor struct {
+	// Trials is the number of release samples per input (default 100000).
+	Trials int
+	// Seed drives the audit's randomness.
+	Seed int64
+}
+
+// AuditResult is the outcome for one neighbor pair.
+type AuditResult struct {
+	// Flipped is the private element type whose presence differs between
+	// the neighbor inputs; empty for the all-elements pair.
+	Flipped event.Type
+	// Certificate holds the observed ratio against the claimed budget.
+	Certificate DPCertificate
+}
+
+// AuditPattern checks the mechanism on single-window neighbor inputs derived
+// from one private pattern type: one pair per element (that element present
+// vs absent), plus the all-elements pair (every element present vs absent).
+// baseline gives the presence of all other relevant types.
+func (a Auditor) AuditPattern(m Mechanism, pt PatternType, baseline map[event.Type]bool, claimed float64) ([]AuditResult, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil mechanism")
+	}
+	trials := a.Trials
+	if trials <= 0 {
+		trials = 100000
+	}
+	types := make([]event.Type, 0, len(baseline)+pt.Len())
+	seen := map[event.Type]bool{}
+	for t := range baseline {
+		if !seen[t] {
+			seen[t] = true
+			types = append(types, t)
+		}
+	}
+	for _, t := range pt.Elements {
+		if !seen[t] {
+			seen[t] = true
+			types = append(types, t)
+		}
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+
+	mk := func(mutate func(map[event.Type]bool)) IndicatorWindow {
+		present := make(map[event.Type]bool, len(types))
+		counts := make(map[event.Type]int, len(types))
+		for _, t := range types {
+			present[t] = baseline[t]
+		}
+		mutate(present)
+		for t, on := range present {
+			if on {
+				counts[t] = 1
+			}
+		}
+		return IndicatorWindow{Present: present, Counts: counts}
+	}
+
+	var results []AuditResult
+	// Per-element pairs: budget for one differing element.
+	for _, el := range pt.Elements {
+		el := el
+		winA := mk(func(p map[event.Type]bool) { p[el] = true })
+		winB := mk(func(p map[event.Type]bool) { p[el] = false })
+		ratio := a.sampleRatio(m, winA, winB, types, trials)
+		results = append(results, AuditResult{
+			Flipped: el,
+			Certificate: DPCertificate{
+				Epsilon:          claimed,
+				MaxObservedRatio: ratio,
+				Trials:           trials,
+			},
+		})
+	}
+	// All-elements pair: the full pattern-level neighborhood.
+	winA := mk(func(p map[event.Type]bool) {
+		for _, el := range pt.Elements {
+			p[el] = true
+		}
+	})
+	winB := mk(func(p map[event.Type]bool) {
+		for _, el := range pt.Elements {
+			p[el] = false
+		}
+	})
+	ratio := a.sampleRatio(m, winA, winB, types, trials)
+	results = append(results, AuditResult{
+		Certificate: DPCertificate{
+			Epsilon:          claimed,
+			MaxObservedRatio: ratio,
+			Trials:           trials,
+		},
+	})
+	return results, nil
+}
+
+// sampleRatio samples releases of one-window inputs and bounds the ratio.
+func (a Auditor) sampleRatio(m Mechanism, winA, winB IndicatorWindow, types []event.Type, trials int) float64 {
+	rngA := rand.New(rand.NewSource(a.Seed + 1))
+	rngB := rand.New(rand.NewSource(a.Seed + 2))
+	key := func(rel map[event.Type]bool) string {
+		var sb strings.Builder
+		for _, t := range types {
+			if rel[t] {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		return sb.String()
+	}
+	countsA := make(map[string]int)
+	countsB := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		relA := m.Run(rngA, []IndicatorWindow{winA})
+		relB := m.Run(rngB, []IndicatorWindow{winB})
+		countsA[key(relA[0])]++
+		countsB[key(relB[0])]++
+	}
+	return EmpiricalRatio(countsA, countsB, trials)
+}
+
+// Verdict summarizes an audit: the worst per-element and full-pattern
+// certificates and whether they hold within slack.
+type Verdict struct {
+	// WorstElement is the largest per-element observed ratio.
+	WorstElement float64
+	// FullPattern is the all-elements observed ratio.
+	FullPattern float64
+	// Pass reports whether the full-pattern ratio stays within ε + slack.
+	Pass bool
+}
+
+// Summarize folds audit results into a verdict with the given slack.
+func Summarize(results []AuditResult, slack float64) Verdict {
+	var v Verdict
+	for _, r := range results {
+		if r.Flipped == "" {
+			v.FullPattern = r.Certificate.MaxObservedRatio
+			v.Pass = r.Certificate.Holds(slack)
+			continue
+		}
+		if r.Certificate.MaxObservedRatio > v.WorstElement {
+			v.WorstElement = r.Certificate.MaxObservedRatio
+		}
+	}
+	return v
+}

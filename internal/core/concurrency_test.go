@@ -1,0 +1,44 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+// TestPrivateEngineConcurrentRegistration exercises target registration
+// racing with window processing (run with -race).
+func TestPrivateEngineConcurrentRegistration(t *testing.T) {
+	pt := mustPT(t, "p", "a")
+	pe, err := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.RegisterTarget(cep.Query{Name: "base", Pattern: cep.E("a"), Window: 10}); err != nil {
+		t.Fatal(err)
+	}
+	ws := []stream.Window{{Start: 0, End: 10, Events: []event.Event{event.New("a", 1)}}}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if g%2 == 0 {
+					name := string(rune('a' + g))
+					pe.RegisterTarget(cep.Query{Name: name, Pattern: cep.E("a"), Window: 10})
+					pe.Targets()
+				} else {
+					if _, err := pe.ProcessWindows(ws); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

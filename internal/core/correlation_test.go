@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"patterndp/internal/event"
+)
+
+// correlatedHistory builds windows where "shadow" co-occurs with the private
+// pattern seq(a, b) almost always, while "noise" is independent.
+func correlatedHistory(n int, seed int64) []IndicatorWindow {
+	rng := rand.New(rand.NewSource(seed))
+	wins := make([]IndicatorWindow, n)
+	for i := range wins {
+		pat := rng.Float64() < 0.4
+		shadow := pat
+		if rng.Float64() < 0.05 { // 5% label noise
+			shadow = !shadow
+		}
+		wins[i] = IndicatorWindow{
+			Index: i,
+			Present: map[event.Type]bool{
+				"a":      pat,
+				"b":      pat,
+				"shadow": shadow,
+				"noise":  rng.Float64() < 0.5,
+			},
+		}
+	}
+	return wins
+}
+
+func TestEstimateCorrelationsFindsLatentEvent(t *testing.T) {
+	pt := mustPT(t, "p", "a", "b")
+	hist := correlatedHistory(500, 1)
+	cors, err := EstimateCorrelations(hist, pt, []event.Type{"shadow", "noise", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a" is an element: skipped. Two candidates remain, sorted by |phi|.
+	if len(cors) != 2 {
+		t.Fatalf("correlations = %d, want 2", len(cors))
+	}
+	if cors[0].Type != "shadow" {
+		t.Fatalf("strongest correlation = %v, want shadow", cors[0].Type)
+	}
+	if cors[0].Phi < 0.8 {
+		t.Errorf("shadow phi = %v, want > 0.8", cors[0].Phi)
+	}
+	if math.Abs(cors[1].Phi) > 0.2 {
+		t.Errorf("noise phi = %v, want ~0", cors[1].Phi)
+	}
+	if cors[0].Lift <= 1 {
+		t.Errorf("shadow lift = %v, want > 1", cors[0].Lift)
+	}
+	if cors[0].Support <= 0 || cors[0].Support >= 1 {
+		t.Errorf("shadow support = %v", cors[0].Support)
+	}
+}
+
+func TestEstimateCorrelationsNegativeAssociation(t *testing.T) {
+	pt := mustPT(t, "p", "a")
+	rng := rand.New(rand.NewSource(2))
+	wins := make([]IndicatorWindow, 400)
+	for i := range wins {
+		pat := rng.Float64() < 0.5
+		wins[i] = IndicatorWindow{
+			Present: map[event.Type]bool{"a": pat, "anti": !pat},
+		}
+	}
+	cors, err := EstimateCorrelations(wins, pt, []event.Type{"anti"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cors[0].Phi > -0.9 {
+		t.Errorf("anti phi = %v, want ~-1", cors[0].Phi)
+	}
+}
+
+func TestEstimateCorrelationsEmptyHistory(t *testing.T) {
+	pt := mustPT(t, "p", "a")
+	if _, err := EstimateCorrelations(nil, pt, []event.Type{"x"}); err == nil {
+		t.Error("empty history accepted")
+	}
+}
+
+func TestEstimateCorrelationsDegenerate(t *testing.T) {
+	// Constant columns: phi undefined, must be 0 (no NaN).
+	pt := mustPT(t, "p", "a")
+	wins := make([]IndicatorWindow, 10)
+	for i := range wins {
+		wins[i] = IndicatorWindow{
+			Present: map[event.Type]bool{"a": true, "always": true},
+		}
+	}
+	cors, err := EstimateCorrelations(wins, pt, []event.Type{"always"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(cors[0].Phi) || cors[0].Phi != 0 {
+		t.Errorf("degenerate phi = %v, want 0", cors[0].Phi)
+	}
+}
+
+func TestSuggestRelevantEvents(t *testing.T) {
+	pt := mustPT(t, "p", "a", "b")
+	hist := correlatedHistory(500, 3)
+	got, err := SuggestRelevantEvents(hist, pt, []event.Type{"shadow", "noise"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "shadow" {
+		t.Errorf("suggested = %v, want [shadow]", got)
+	}
+	if _, err := SuggestRelevantEvents(hist, pt, nil, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := SuggestRelevantEvents(hist, pt, nil, 1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+}
+
+func TestExtendPatternType(t *testing.T) {
+	pt := mustPT(t, "p", "a", "b")
+	ext, err := ExtendPatternType(pt, []event.Type{"shadow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Len() != 3 || ext.Elements[2] != "shadow" {
+		t.Errorf("extended = %v", ext.Elements)
+	}
+	if ext.Name != "p+latent" {
+		t.Errorf("name = %q", ext.Name)
+	}
+	// Original is untouched.
+	if pt.Len() != 2 {
+		t.Error("original mutated")
+	}
+	same, err := ExtendPatternType(pt, nil)
+	if err != nil || same.Len() != 2 {
+		t.Error("no-op extension broken")
+	}
+}
+
+func TestExtendedTypeProtectsLatentEvent(t *testing.T) {
+	// End to end: discover the latent event, extend the pattern, and check
+	// the uniform PPM now perturbs it.
+	pt := mustPT(t, "p", "a", "b")
+	hist := correlatedHistory(500, 4)
+	latent, err := SuggestRelevantEvents(hist, pt, []event.Type{"shadow", "noise"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := ExtendPatternType(pt, latent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppm, err := NewUniformPPM(1.5, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppm.FlipProb("shadow") == 0 {
+		t.Error("latent event not protected after extension")
+	}
+	if ppm.FlipProb("noise") != 0 {
+		t.Error("uncorrelated event unnecessarily protected")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"patterndp/internal/event"
+)
+
+// TestCountPPMNoisesAbsentTypes is a regression test for a DP violation
+// found by the Auditor during development: when a tracked type's count was
+// missing from the Counts map (the type was absent from the window), the
+// release skipped noising it and reported "absent" deterministically. A
+// deterministic bit makes neighbor inputs perfectly distinguishable.
+func TestCountPPMNoisesAbsentTypes(t *testing.T) {
+	pt := mustPT(t, "p", "a")
+	c, err := NewCountPPM(0.5, pt) // heavy noise so flips are frequent
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window where "a" is tracked but absent, with no Counts entry at all.
+	wins := []IndicatorWindow{{
+		Present: map[event.Type]bool{"a": false},
+		Counts:  map[event.Type]int{},
+	}}
+	rng := rand.New(rand.NewSource(1))
+	reportedPresent := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		out := c.Run(rng, wins)
+		if out[0]["a"] {
+			reportedPresent++
+		}
+	}
+	if reportedPresent == 0 {
+		t.Fatal("absent type never reported present: zero count is not being noised (DP violation)")
+	}
+}
+
+// TestCountPPMAuditedAtLowBudget runs the auditor against the count PPM at a
+// small budget, where violations are easiest to observe.
+func TestCountPPMAuditedAtLowBudget(t *testing.T) {
+	pt := mustPT(t, "p", "a", "b")
+	eps := 0.8
+	c, err := NewCountPPM(0.8, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud := Auditor{Trials: 60000, Seed: 5}
+	results, err := aud.AuditPattern(c, pt, map[event.Type]bool{"pub": true}, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Summarize(results, 0.1)
+	if !v.Pass {
+		t.Errorf("count PPM failed audit: full-pattern ratio %v vs eps %v", v.FullPattern, eps)
+	}
+	if v.WorstElement > eps/2+0.1 {
+		t.Errorf("per-element ratio %v exceeds eps/2 = %v", v.WorstElement, eps/2)
+	}
+}

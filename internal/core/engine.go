@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+// Answer is one privacy-protected query answer delivered to a data consumer:
+// the window it refers to and the released binary detection.
+type Answer struct {
+	// Query names the target query answered.
+	Query string
+	// WindowIndex is the position of the window in the stream.
+	WindowIndex int
+	// Window is the covered interval.
+	Window stream.Window
+	// Detected is the released (perturbed) binary answer.
+	Detected bool
+}
+
+// PrivateEngine is the trusted CEP engine with privacy protection wired in
+// (Fig. 2). In the setup phase, data subjects register private pattern types
+// and a mechanism protecting them, and data consumers register target
+// queries. In the service phase, raw events flow in, windows are formed, the
+// mechanism perturbs the existence indicators of private-pattern elements,
+// and target queries are answered from the released indicators.
+//
+// PrivateEngine is safe for concurrent registration; the service phase
+// processes one stream at a time.
+type PrivateEngine struct {
+	mu        sync.RWMutex
+	mechanism Mechanism
+	private   []PatternType
+	targets   map[string]cep.Query
+	rng       *rand.Rand
+}
+
+// NewPrivateEngine builds an engine around the given mechanism and the
+// private pattern types it protects. seed drives the mechanism's randomness.
+func NewPrivateEngine(m Mechanism, private []PatternType, seed int64) (*PrivateEngine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil mechanism")
+	}
+	if len(private) == 0 {
+		return nil, fmt.Errorf("core: no private pattern types registered")
+	}
+	return &PrivateEngine{
+		mechanism: m,
+		private:   private,
+		targets:   make(map[string]cep.Query),
+		rng:       rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// RegisterTarget adds a data consumer's target query.
+func (pe *PrivateEngine) RegisterTarget(q cep.Query) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	pe.targets[q.Name] = q
+	return nil
+}
+
+// Targets returns the registered target queries sorted by name.
+func (pe *PrivateEngine) Targets() []cep.Query {
+	pe.mu.RLock()
+	defer pe.mu.RUnlock()
+	out := make([]cep.Query, 0, len(pe.targets))
+	for _, q := range pe.targets {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// relevantTypes returns the union of private-pattern element types and
+// target-query types, so indicators cover everything queries may reference.
+func (pe *PrivateEngine) relevantTypes() []event.Type {
+	seen := make(map[event.Type]bool)
+	var out []event.Type
+	add := func(ts []event.Type) {
+		for _, t := range ts {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	for _, pt := range pe.private {
+		add(pt.Elements)
+	}
+	for _, q := range pe.Targets() {
+		add(q.Pattern.Types())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ProcessWindows runs the service phase over a batch of windows: perturb
+// indicators with the mechanism, then answer every target query on the
+// released indicators. Answers are ordered by window then query name.
+func (pe *PrivateEngine) ProcessWindows(ws []stream.Window) ([]Answer, error) {
+	targets := pe.Targets()
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("core: no target queries registered")
+	}
+	types := pe.relevantTypes()
+	iws := IndicatorWindows(ws, types)
+	released := pe.mechanism.Run(pe.rng, iws)
+	if len(released) != len(ws) {
+		return nil, fmt.Errorf("core: mechanism %q returned %d windows for %d inputs",
+			pe.mechanism.Name(), len(released), len(ws))
+	}
+	answers := make([]Answer, 0, len(ws)*len(targets))
+	for i, w := range ws {
+		for _, q := range targets {
+			answers = append(answers, Answer{
+				Query:       q.Name,
+				WindowIndex: i,
+				Window:      w,
+				Detected:    cep.EvalIndicators(q.Pattern, released[i]),
+			})
+		}
+	}
+	return answers, nil
+}
+
+// ProcessEvents cuts a time-ordered event slice into tumbling windows of the
+// given width and runs ProcessWindows.
+func (pe *PrivateEngine) ProcessEvents(evs []event.Event, width event.Timestamp) ([]Answer, error) {
+	return pe.ProcessWindows(stream.WindowSlice(evs, width))
+}
+
+// Serve consumes an event stream, windows it, and emits protected answers as
+// windows complete. It terminates when the input closes or done is closed.
+// Note: each window is processed as its own batch, so stateful mechanisms
+// see windows one at a time in order.
+func (pe *PrivateEngine) Serve(done <-chan struct{}, in stream.Stream[event.Event], width event.Timestamp) stream.Stream[Answer] {
+	out := make(chan Answer)
+	go func() {
+		defer close(out)
+		idx := 0
+		for w := range stream.Tumbling(done, in, width) {
+			answers, err := pe.ProcessWindows([]stream.Window{w})
+			if err != nil {
+				return
+			}
+			for _, a := range answers {
+				a.WindowIndex = idx
+				select {
+				case out <- a:
+				case <-done:
+					return
+				}
+			}
+			idx++
+		}
+	}()
+	return out
+}

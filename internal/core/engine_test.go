@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+func TestNewPrivateEngineValidation(t *testing.T) {
+	pt := mustPT(t, "p", "a")
+	if _, err := NewPrivateEngine(nil, []PatternType{pt}, 1); err == nil {
+		t.Error("nil mechanism accepted")
+	}
+	if _, err := NewPrivateEngine(Identity{}, nil, 1); err == nil {
+		t.Error("no private patterns accepted")
+	}
+}
+
+func TestPrivateEngineIdentityRoundTrip(t *testing.T) {
+	pt := mustPT(t, "priv", "a", "b")
+	pe, err := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.RegisterTarget(cep.Query{Name: "tgt", Pattern: cep.SeqTypes("a", "c"), Window: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.RegisterTarget(cep.Query{Name: "", Pattern: cep.E("a"), Window: 10}); err == nil {
+		t.Error("invalid target accepted")
+	}
+	evs := []event.Event{
+		event.New("a", 1), event.New("c", 2), // window 0: tgt detected
+		event.New("a", 11), // window 1: not detected
+	}
+	answers, err := pe.ProcessEvents(evs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("answers = %d, want 2", len(answers))
+	}
+	if !answers[0].Detected || answers[0].Query != "tgt" || answers[0].WindowIndex != 0 {
+		t.Errorf("answer 0 = %+v", answers[0])
+	}
+	if answers[1].Detected {
+		t.Errorf("answer 1 = %+v", answers[1])
+	}
+}
+
+func TestPrivateEngineNoTargets(t *testing.T) {
+	pt := mustPT(t, "priv", "a")
+	pe, _ := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
+	if _, err := pe.ProcessWindows([]stream.Window{{}}); err == nil {
+		t.Error("processing without targets accepted")
+	}
+}
+
+func TestPrivateEngineWithUniformPPM(t *testing.T) {
+	// Huge budget: perturbation negligible, answers should match truth.
+	pt := mustPT(t, "priv", "a")
+	u, err := NewUniformPPM(50, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewPrivateEngine(u, []PatternType{pt}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe.RegisterTarget(cep.Query{Name: "tgt", Pattern: cep.E("a"), Window: 10})
+	evs := []event.Event{event.New("a", 1), event.New("x", 11)}
+	answers, err := pe.ProcessEvents(evs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !answers[0].Detected || answers[1].Detected {
+		t.Errorf("high-budget answers diverge from truth: %+v", answers)
+	}
+}
+
+func TestPrivateEngineTargetsSorted(t *testing.T) {
+	pt := mustPT(t, "priv", "a")
+	pe, _ := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
+	pe.RegisterTarget(cep.Query{Name: "zz", Pattern: cep.E("a"), Window: 10})
+	pe.RegisterTarget(cep.Query{Name: "aa", Pattern: cep.E("b"), Window: 10})
+	ts := pe.Targets()
+	if len(ts) != 2 || ts[0].Name != "aa" {
+		t.Errorf("Targets = %v", ts)
+	}
+}
+
+func TestPrivateEngineServeStreaming(t *testing.T) {
+	pt := mustPT(t, "priv", "a")
+	pe, _ := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
+	pe.RegisterTarget(cep.Query{Name: "tgt", Pattern: cep.E("a"), Window: 5})
+	done := make(chan struct{})
+	defer close(done)
+	in := stream.FromSlice([]event.Event{
+		event.New("a", 0), event.New("a", 7), event.New("b", 12),
+	})
+	answers := stream.Collect(pe.Serve(done, in, 5))
+	if len(answers) != 3 {
+		t.Fatalf("answers = %d, want 3 windows", len(answers))
+	}
+	wantDetect := []bool{true, true, false}
+	for i, a := range answers {
+		if a.Detected != wantDetect[i] {
+			t.Errorf("window %d detected=%t want %t", i, a.Detected, wantDetect[i])
+		}
+		if a.WindowIndex != i {
+			t.Errorf("window index %d, want %d", a.WindowIndex, i)
+		}
+	}
+}
+
+func TestRelevantTypesUnion(t *testing.T) {
+	pt := mustPT(t, "priv", "a", "b")
+	pe, _ := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
+	pe.RegisterTarget(cep.Query{Name: "t", Pattern: cep.SeqTypes("b", "c"), Window: 5})
+	types := pe.relevantTypes()
+	if len(types) != 3 {
+		t.Fatalf("relevantTypes = %v", types)
+	}
+	want := []event.Type{"a", "b", "c"}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Errorf("relevantTypes = %v, want %v", types, want)
+		}
+	}
+}

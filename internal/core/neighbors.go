@@ -1,0 +1,145 @@
+// Package core implements the paper's primary contribution: pattern-level
+// ε-differential privacy (Section IV) and the two privacy-preserving
+// mechanisms that satisfy it — the uniform PPM and the adaptive PPM based on
+// historical data (Section V) — plus the private CEP engine that applies
+// them between data subjects and data consumers (Fig. 2).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/event"
+)
+
+// PatternType is a group of patterns specified by a query (Definition 2).
+// In practice it is the private pattern type a data subject registers: any
+// pattern instance identified by the query is an element of the type.
+type PatternType struct {
+	// Name identifies the type.
+	Name string
+	// Elements are the event types whose combination constitutes the
+	// pattern, in sequence order (P = seq(e1, …, em)).
+	Elements []event.Type
+}
+
+// NewPatternType builds a pattern type from its element event types.
+func NewPatternType(name string, elements ...event.Type) (PatternType, error) {
+	if name == "" {
+		return PatternType{}, fmt.Errorf("core: pattern type with empty name")
+	}
+	if len(elements) == 0 {
+		return PatternType{}, fmt.Errorf("core: pattern type %q with no elements", name)
+	}
+	for i, e := range elements {
+		if e == "" {
+			return PatternType{}, fmt.Errorf("core: pattern type %q element %d is empty", name, i)
+		}
+	}
+	cp := make([]event.Type, len(elements))
+	copy(cp, elements)
+	return PatternType{Name: name, Elements: cp}, nil
+}
+
+// Len returns m, the number of elements.
+func (pt PatternType) Len() int { return len(pt.Elements) }
+
+// Expr returns the CEP sequence expression that identifies instances of the
+// type.
+func (pt PatternType) Expr() *cep.Seq { return cep.SeqTypes(pt.Elements...) }
+
+// ElementSet returns the elements as a set.
+func (pt PatternType) ElementSet() map[event.Type]bool {
+	out := make(map[event.Type]bool, len(pt.Elements))
+	for _, e := range pt.Elements {
+		out[e] = true
+	}
+	return out
+}
+
+// Matches reports whether a pattern instance belongs to the type: same
+// element event types in the same order.
+func (pt PatternType) Matches(p event.Pattern) bool {
+	if len(p.Events) != len(pt.Elements) {
+		return false
+	}
+	for i, e := range p.Events {
+		if e.Type != pt.Elements[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PatternLevelNeighbors reports whether two finite pattern streams are
+// pattern-level neighbors with respect to the type (Definition 3): at every
+// position whose pattern belongs to the type the instances are in-pattern
+// neighbors (Definition 1), and at every other position they are equal.
+//
+// The paper defines the relation on infinite streams; any concrete check is
+// over a finite prefix.
+func PatternLevelNeighbors(pt PatternType, a, b []event.Pattern) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	changed := false
+	for i := range a {
+		if pt.Matches(a[i]) {
+			if !a[i].InPatternNeighbor(b[i]) {
+				// Equal instances are also allowed at member positions:
+				// Definition 3 requires neighboring only where they differ.
+				if !a[i].Equal(b[i]) {
+					return false
+				}
+				continue
+			}
+			changed = true
+			continue
+		}
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	_ = changed
+	return true
+}
+
+// DPCertificate is the result of an empirical pattern-level DP check: the
+// maximum observed log-likelihood ratio between the response distributions
+// of a mechanism on two neighboring inputs, to be compared with ε.
+type DPCertificate struct {
+	// Epsilon is the privacy budget claimed by the mechanism.
+	Epsilon float64
+	// MaxObservedRatio is the largest ln(P[R|S] / P[R|S']) observed over
+	// all responses R with non-zero estimated probability on both inputs.
+	MaxObservedRatio float64
+	// Trials is the number of samples drawn per input.
+	Trials int
+}
+
+// Holds reports whether the observed ratio stays within the claimed budget,
+// with slack to absorb Monte-Carlo error.
+func (c DPCertificate) Holds(slack float64) bool {
+	return c.MaxObservedRatio <= c.Epsilon+slack
+}
+
+// EmpiricalRatio estimates the max log-likelihood ratio between two
+// empirical response distributions given as counts over the same response
+// space. Responses seen on one side only are ignored (their ratio estimate
+// is unbounded noise at finite sample size, and randomized response assigns
+// every response non-zero probability on both sides).
+func EmpiricalRatio(countsA, countsB map[string]int, trials int) float64 {
+	maxRatio := 0.0
+	for r, ca := range countsA {
+		cb := countsB[r]
+		if ca == 0 || cb == 0 {
+			continue
+		}
+		ratio := math.Abs(math.Log(float64(ca) / float64(cb)))
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+	}
+	return maxRatio
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/dp"
+	"patterndp/internal/event"
+)
+
+func TestPropertyDetectionProbabilityInUnitInterval(t *testing.T) {
+	f := func(ta, tb bool, rawFa, rawFb uint8) bool {
+		truth := map[event.Type]bool{"a": ta, "b": tb}
+		flip := map[event.Type]float64{
+			"a": float64(rawFa%51) / 100, // [0, 0.5]
+			"b": float64(rawFb%51) / 100,
+		}
+		p := DetectionProbability(cep.SeqTypes("a", "b"), truth, flip, nil)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyZeroFlipMatchesTruth(t *testing.T) {
+	f := func(ta, tb bool) bool {
+		truth := map[event.Type]bool{"a": ta, "b": tb}
+		p := DetectionProbability(cep.SeqTypes("a", "b"), truth, nil, nil)
+		want := 0.0
+		if ta && tb {
+			want = 1.0
+		}
+		return p == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyComplementaryExpressionsSumToOne(t *testing.T) {
+	// P(detect E) + P(detect NEG(E)) = 1 for any flips: the released
+	// indicator assignment either satisfies E or it does not.
+	f := func(ta, tb bool, rawFa, rawFb uint8) bool {
+		truth := map[event.Type]bool{"a": ta, "b": tb}
+		flip := map[event.Type]float64{
+			"a": float64(rawFa%51) / 100,
+			"b": float64(rawFb%51) / 100,
+		}
+		e := cep.AndOf(cep.E("a"), cep.E("b"))
+		p := DetectionProbability(e, truth, flip, nil)
+		q := DetectionProbability(cep.NegOf(e), truth, flip, nil)
+		return math.Abs(p+q-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUniformPPMComposedBudget(t *testing.T) {
+	// For any pattern length and budget, the per-element flips of the
+	// uniform PPM compose back to the configured ε (Theorem 1 accounting).
+	f := func(rawEps uint8, rawM uint8) bool {
+		eps := float64(rawEps%80)/10 + 0.1
+		m := int(rawM%6) + 1
+		elems := make([]event.Type, m)
+		for i := range elems {
+			elems[i] = event.Type(rune('a' + i))
+		}
+		pt, err := NewPatternType("p", elems...)
+		if err != nil {
+			return false
+		}
+		u, err := NewUniformPPM(dp.Epsilon(eps), pt)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, el := range elems {
+			p := u.FlipProb(el)
+			sum += math.Log((1 - p) / p)
+		}
+		return math.Abs(sum-eps) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPerturbPreservesKeys(t *testing.T) {
+	// The released indicator map always has exactly the input's keys.
+	pt, _ := NewPatternType("p", "a", "b")
+	u, _ := NewUniformPPM(1, pt)
+	rng := rand.New(rand.NewSource(9))
+	f := func(pa, pb, pc bool) bool {
+		in := map[event.Type]bool{"a": pa, "b": pb, "pub": pc}
+		out := u.PerturbWindow(rng, in)
+		if len(out) != len(in) {
+			return false
+		}
+		for k := range in {
+			if _, ok := out[k]; !ok {
+				return false
+			}
+		}
+		// Public keys unchanged.
+		return out["pub"] == pc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExpectedQualityBounds(t *testing.T) {
+	// Expected quality stays in [0, 1] for random histories and flips.
+	f := func(raw []byte, rawFlip uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		wins := make([]IndicatorWindow, 0, len(raw))
+		for i, b := range raw {
+			wins = append(wins, IndicatorWindow{
+				Index: i,
+				Present: map[event.Type]bool{
+					"a": b&1 != 0,
+					"b": b&2 != 0,
+				},
+			})
+		}
+		flip := map[event.Type]float64{"a": float64(rawFlip%51) / 100}
+		q := ExpectedQuality(wins, []cep.Expr{cep.SeqTypes("a", "b")}, flip, 0.5, nil)
+		return q >= 0 && q <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

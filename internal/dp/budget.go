@@ -1,0 +1,217 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Accountant tracks a total privacy budget and the amounts spent against it,
+// keyed by a free-form label (an event type, a timestamp, a mechanism name).
+// Sequential composition applies: total spend is the sum of all spends.
+// Accountant is safe for concurrent use.
+type Accountant struct {
+	mu    sync.Mutex
+	total Epsilon
+	spent map[string]Epsilon
+}
+
+// NewAccountant creates an accountant with the given total budget.
+func NewAccountant(total Epsilon) (*Accountant, error) {
+	if !total.Valid() {
+		return nil, fmt.Errorf("dp: invalid total budget %v", total)
+	}
+	return &Accountant{total: total, spent: make(map[string]Epsilon)}, nil
+}
+
+// Total returns the configured total budget.
+func (a *Accountant) Total() Epsilon { return a.total }
+
+// Spent returns the cumulative spend across all keys.
+func (a *Accountant) Spent() Epsilon {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spentLocked()
+}
+
+func (a *Accountant) spentLocked() Epsilon {
+	var sum Epsilon
+	for _, v := range a.spent {
+		sum += v
+	}
+	return sum
+}
+
+// Remaining returns the unspent budget (never negative).
+func (a *Accountant) Remaining() Epsilon {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rem := a.total - a.spentLocked()
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Spend records a spend under key. It fails with ErrBudgetExhausted when the
+// spend would exceed the total (within a small tolerance for float error).
+func (a *Accountant) Spend(key string, eps Epsilon) error {
+	if !eps.Valid() {
+		return fmt.Errorf("dp: invalid spend %v", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	const tol = 1e-9
+	if float64(a.spentLocked()+eps) > float64(a.total)+tol {
+		return fmt.Errorf("%w: spent %.6g + %.6g > total %.6g",
+			ErrBudgetExhausted, float64(a.spentLocked()), float64(eps), float64(a.total))
+	}
+	a.spent[key] += eps
+	return nil
+}
+
+// SpentOn returns the spend recorded under key.
+func (a *Accountant) SpentOn(key string) Epsilon {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent[key]
+}
+
+// Keys returns all spend keys in sorted order.
+func (a *Accountant) Keys() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.spent))
+	for k := range a.spent {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all recorded spends.
+func (a *Accountant) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent = make(map[string]Epsilon)
+}
+
+// Distribution is an allocation of a total budget across m items. It is the
+// vector (ε1, …, εm) with Σεi = ε that both PPMs manage.
+type Distribution struct {
+	parts []Epsilon
+}
+
+// UniformDistribution splits total evenly across m items (Fig. 3).
+func UniformDistribution(total Epsilon, m int) (*Distribution, error) {
+	if !total.Valid() {
+		return nil, fmt.Errorf("dp: invalid total budget %v", total)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("dp: distribution over %d items", m)
+	}
+	parts := make([]Epsilon, m)
+	each := total / Epsilon(m)
+	for i := range parts {
+		parts[i] = each
+	}
+	return &Distribution{parts: parts}, nil
+}
+
+// NewDistribution adopts an explicit allocation. Parts must be non-negative.
+func NewDistribution(parts []Epsilon) (*Distribution, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dp: empty distribution")
+	}
+	cp := make([]Epsilon, len(parts))
+	for i, p := range parts {
+		if !p.Valid() {
+			return nil, fmt.Errorf("dp: invalid part %d = %v", i, p)
+		}
+		cp[i] = p
+	}
+	return &Distribution{parts: cp}, nil
+}
+
+// Len returns the number of items.
+func (d *Distribution) Len() int { return len(d.parts) }
+
+// Part returns εi.
+func (d *Distribution) Part(i int) Epsilon { return d.parts[i] }
+
+// Parts returns a copy of the allocation vector.
+func (d *Distribution) Parts() []Epsilon {
+	out := make([]Epsilon, len(d.parts))
+	copy(out, d.parts)
+	return out
+}
+
+// Total returns Σεi.
+func (d *Distribution) Total() Epsilon {
+	var sum Epsilon
+	for _, p := range d.parts {
+		sum += p
+	}
+	return sum
+}
+
+// Set replaces εi, clamping to [0, ∞).
+func (d *Distribution) Set(i int, eps Epsilon) {
+	if eps < 0 {
+		eps = 0
+	}
+	d.parts[i] = eps
+}
+
+// Shift moves delta of budget onto item i, taking it evenly from all other
+// items (the inner move of Algorithm 1, line 7). Amounts are clamped so no
+// part goes negative; the actual shifted amount is returned.
+func (d *Distribution) Shift(i int, delta Epsilon) Epsilon {
+	if len(d.parts) < 2 || delta <= 0 {
+		return 0
+	}
+	per := delta / Epsilon(len(d.parts)-1)
+	var taken Epsilon
+	for j := range d.parts {
+		if j == i {
+			continue
+		}
+		t := per
+		if d.parts[j] < t {
+			t = d.parts[j]
+		}
+		d.parts[j] -= t
+		taken += t
+	}
+	d.parts[i] += taken
+	return taken
+}
+
+// Clone returns a deep copy.
+func (d *Distribution) Clone() *Distribution {
+	return &Distribution{parts: d.Parts()}
+}
+
+// FlipProbs converts the allocation into per-item randomized-response flip
+// probabilities p_i = 1/(1+e^{ε_i}).
+func (d *Distribution) FlipProbs() []float64 {
+	out := make([]float64, len(d.parts))
+	for i, eps := range d.parts {
+		out[i] = 1 / (1 + math.Exp(float64(eps)))
+	}
+	return out
+}
+
+// ComposedEpsilon computes the pattern-level budget guaranteed by Theorem 1
+// for per-item flip probabilities probs: Σ ln((1−p_i)/p_i).
+func ComposedEpsilon(probs []float64) Epsilon {
+	var sum float64
+	for _, p := range probs {
+		if p <= 0 {
+			return Epsilon(math.Inf(1))
+		}
+		sum += math.Log((1 - p) / p)
+	}
+	return Epsilon(sum)
+}

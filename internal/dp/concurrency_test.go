@@ -1,0 +1,79 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestAccountantConcurrentSpends hammers Spend from many goroutines: the
+// recorded total must equal the sum of successful spends, and the total must
+// never exceed the budget (run with -race to check synchronization).
+func TestAccountantConcurrentSpends(t *testing.T) {
+	a, err := NewAccountant(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var succeeded int64
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 100
+	const unit = 0.05
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := a.Spend("k", unit)
+				if err == nil {
+					atomic.AddInt64(&succeeded, 1)
+					continue
+				}
+				if !errors.Is(err, ErrBudgetExhausted) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := float64(succeeded) * unit
+	got := float64(a.Spent())
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("Spent = %v, want %v (%d successful spends)", got, want, succeeded)
+	}
+	if got > 10+1e-6 {
+		t.Errorf("Spent %v exceeds total budget", got)
+	}
+	// 800 × 0.05 = 40 > 10, so exhaustion must have occurred.
+	if succeeded >= goroutines*perG {
+		t.Error("no spend was ever rejected; budget enforcement is broken")
+	}
+}
+
+// TestAccountantConcurrentReaders mixes readers with writers.
+func TestAccountantConcurrentReaders(t *testing.T) {
+	a, _ := NewAccountant(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch g % 4 {
+				case 0:
+					a.Spend("w", 0.01)
+				case 1:
+					a.Spent()
+				case 2:
+					a.Remaining()
+				default:
+					a.Keys()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,373 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpsilonValid(t *testing.T) {
+	if !Epsilon(0).Valid() || !Epsilon(1.5).Valid() {
+		t.Error("valid epsilons rejected")
+	}
+	for _, e := range []Epsilon{-1, Epsilon(math.Inf(1)), Epsilon(math.NaN())} {
+		if e.Valid() {
+			t.Errorf("invalid epsilon %v accepted", e)
+		}
+	}
+}
+
+func TestNewRandomizedResponseBounds(t *testing.T) {
+	for _, p := range []float64{-0.1, 0.6, math.NaN()} {
+		if _, err := NewRandomizedResponse(p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+	r, err := NewRandomizedResponse(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlipProb() != 0.25 {
+		t.Error("FlipProb mismatch")
+	}
+}
+
+func TestRRFromEpsilonRoundTrip(t *testing.T) {
+	for _, eps := range []Epsilon{0, 0.1, 1, 5, 10} {
+		r, err := RRFromEpsilon(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := r.Epsilon()
+		if math.Abs(float64(back-eps)) > 1e-9 {
+			t.Errorf("eps %v round-tripped to %v", eps, back)
+		}
+	}
+	if _, err := RRFromEpsilon(-1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestRREpsilonZeroIsCoinFlip(t *testing.T) {
+	r, _ := RRFromEpsilon(0)
+	if math.Abs(r.FlipProb()-0.5) > 1e-12 {
+		t.Errorf("eps=0 flip prob = %v, want 0.5", r.FlipProb())
+	}
+}
+
+func TestRRZeroFlipProbEpsilon(t *testing.T) {
+	r, _ := NewRandomizedResponse(0)
+	if !math.IsInf(float64(r.Epsilon()), 1) {
+		t.Error("p=0 should give infinite epsilon")
+	}
+}
+
+func TestRespondEmpiricalFlipRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r, _ := NewRandomizedResponse(0.3)
+	const n = 200000
+	flips := 0
+	for i := 0; i < n; i++ {
+		if r.Respond(rng, true) != true {
+			flips++
+		}
+	}
+	rate := float64(flips) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("empirical flip rate %v, want ~0.3", rate)
+	}
+}
+
+func TestRespondManyLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, _ := NewRandomizedResponse(0.5)
+	in := []bool{true, false, true}
+	out := r.RespondMany(rng, in)
+	if len(out) != 3 {
+		t.Errorf("len = %d", len(out))
+	}
+	if &in[0] == &out[0] {
+		t.Error("RespondMany must not alias input")
+	}
+}
+
+func TestRRSatisfiesDPEmpirically(t *testing.T) {
+	// For neighbor inputs (true vs false), the response distribution ratio
+	// must be bounded by e^ε. With p=0.25, ε = ln 3.
+	rng := rand.New(rand.NewSource(3))
+	r, _ := NewRandomizedResponse(0.25)
+	const n = 400000
+	trueToTrue, falseToTrue := 0, 0
+	for i := 0; i < n; i++ {
+		if r.Respond(rng, true) {
+			trueToTrue++
+		}
+		if r.Respond(rng, false) {
+			falseToTrue++
+		}
+	}
+	ratio := float64(trueToTrue) / float64(falseToTrue)
+	bound := math.Exp(float64(r.Epsilon()))
+	if ratio > bound*1.05 {
+		t.Errorf("likelihood ratio %v exceeds e^eps = %v", ratio, bound)
+	}
+	if ratio < 1 {
+		t.Errorf("ratio %v < 1: truth should be more likely", ratio)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 400000
+	scale := 2.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Laplace(rng, scale)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean %v, want ~0", mean)
+	}
+	want := 2 * scale * scale // Var = 2b²
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("Laplace variance %v, want ~%v", variance, want)
+	}
+}
+
+func TestLaplacePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Laplace(rand.New(rand.NewSource(1)), 0)
+}
+
+func TestLaplaceMechanismErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := LaplaceMechanism(rng, 1, 1, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := LaplaceMechanism(rng, 1, 0, 1); err == nil {
+		t.Error("sens=0 accepted")
+	}
+	v, err := LaplaceMechanism(rng, 100, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-100) > 1 {
+		t.Errorf("huge epsilon should add tiny noise, got %v", v)
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		g, err := Geometric(rng, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(g)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.05 {
+		t.Errorf("geometric mean %v, want ~0", mean)
+	}
+	if _, err := Geometric(rng, 0, 1); err == nil {
+		t.Error("sens=0 accepted")
+	}
+	if _, err := Geometric(rng, 1, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestAccountantSpend(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("e1", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("e2", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("e3", 0.4); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("over-spend error = %v, want ErrBudgetExhausted", err)
+	}
+	if got := a.Spent(); math.Abs(float64(got-0.8)) > 1e-12 {
+		t.Errorf("Spent = %v", got)
+	}
+	if got := a.Remaining(); math.Abs(float64(got-0.2)) > 1e-12 {
+		t.Errorf("Remaining = %v", got)
+	}
+	if a.SpentOn("e1") != 0.4 {
+		t.Errorf("SpentOn(e1) = %v", a.SpentOn("e1"))
+	}
+	keys := a.Keys()
+	if len(keys) != 2 || keys[0] != "e1" || keys[1] != "e2" {
+		t.Errorf("Keys = %v", keys)
+	}
+	a.Reset()
+	if a.Spent() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestAccountantFloatTolerance(t *testing.T) {
+	a, _ := NewAccountant(1.0)
+	// Ten spends of 0.1 must all succeed despite float accumulation error.
+	for i := 0; i < 10; i++ {
+		if err := a.Spend("k", 0.1); err != nil {
+			t.Fatalf("spend %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestAccountantInvalidInputs(t *testing.T) {
+	if _, err := NewAccountant(-1); err == nil {
+		t.Error("negative total accepted")
+	}
+	a, _ := NewAccountant(1)
+	if err := a.Spend("k", -0.5); err == nil {
+		t.Error("negative spend accepted")
+	}
+	if a.Total() != 1 {
+		t.Error("Total broken")
+	}
+}
+
+func TestUniformDistribution(t *testing.T) {
+	d, err := UniformDistribution(3.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(float64(d.Part(i)-1.0)) > 1e-12 {
+			t.Errorf("Part(%d) = %v", i, d.Part(i))
+		}
+	}
+	if math.Abs(float64(d.Total()-3.0)) > 1e-12 {
+		t.Errorf("Total = %v", d.Total())
+	}
+	if _, err := UniformDistribution(1, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := UniformDistribution(-1, 2); err == nil {
+		t.Error("negative total accepted")
+	}
+}
+
+func TestNewDistributionValidation(t *testing.T) {
+	if _, err := NewDistribution(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewDistribution([]Epsilon{1, -2}); err == nil {
+		t.Error("negative part accepted")
+	}
+	src := []Epsilon{1, 2}
+	d, err := NewDistribution(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if d.Part(0) != 1 {
+		t.Error("NewDistribution aliased input")
+	}
+}
+
+func TestDistributionShiftConservesTotal(t *testing.T) {
+	d, _ := UniformDistribution(3.0, 3)
+	before := d.Total()
+	moved := d.Shift(0, 0.3)
+	if math.Abs(float64(moved-0.3)) > 1e-12 {
+		t.Errorf("moved = %v", moved)
+	}
+	if math.Abs(float64(d.Total()-before)) > 1e-9 {
+		t.Errorf("Shift changed total: %v -> %v", before, d.Total())
+	}
+	if d.Part(0) <= 1.0 {
+		t.Error("target part did not grow")
+	}
+}
+
+func TestDistributionShiftClampsAtZero(t *testing.T) {
+	d, _ := NewDistribution([]Epsilon{1, 0.01, 1})
+	moved := d.Shift(0, 1.0) // wants 0.5 from each other part; part 1 has 0.01
+	if d.Part(1) < 0 || d.Part(2) < 0 {
+		t.Error("a part went negative")
+	}
+	if float64(moved) > 0.52 {
+		t.Errorf("moved %v, want <= 0.51", moved)
+	}
+}
+
+func TestDistributionShiftDegenerate(t *testing.T) {
+	d, _ := NewDistribution([]Epsilon{5})
+	if d.Shift(0, 1) != 0 {
+		t.Error("single-item shift should be a no-op")
+	}
+	d2, _ := UniformDistribution(2, 2)
+	if d2.Shift(0, 0) != 0 || d2.Shift(0, -1) != 0 {
+		t.Error("non-positive delta should be a no-op")
+	}
+}
+
+func TestDistributionSetClamps(t *testing.T) {
+	d, _ := UniformDistribution(2, 2)
+	d.Set(0, -5)
+	if d.Part(0) != 0 {
+		t.Error("Set did not clamp negative")
+	}
+	d.Set(1, 7)
+	if d.Part(1) != 7 {
+		t.Error("Set failed")
+	}
+}
+
+func TestDistributionCloneIndependent(t *testing.T) {
+	d, _ := UniformDistribution(2, 2)
+	c := d.Clone()
+	c.Set(0, 9)
+	if d.Part(0) == 9 {
+		t.Error("Clone aliases parent")
+	}
+	p := d.Parts()
+	p[0] = 42
+	if d.Part(0) == 42 {
+		t.Error("Parts aliases internal state")
+	}
+}
+
+func TestFlipProbsComposeToTotal(t *testing.T) {
+	// Property (Theorem 1 accounting): for any uniform split of ε over m
+	// items, composing the per-item budgets recovers ε.
+	f := func(rawEps uint8, rawM uint8) bool {
+		eps := Epsilon(float64(rawEps%100)/10 + 0.01)
+		m := int(rawM%8) + 1
+		d, err := UniformDistribution(eps, m)
+		if err != nil {
+			return false
+		}
+		got := ComposedEpsilon(d.FlipProbs())
+		return math.Abs(float64(got-eps)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposedEpsilonInfinity(t *testing.T) {
+	if !math.IsInf(float64(ComposedEpsilon([]float64{0.5, 0})), 1) {
+		t.Error("p=0 item should give infinite composed epsilon")
+	}
+}

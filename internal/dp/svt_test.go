@@ -1,0 +1,184 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewSparseVectorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSparseVector(rng, 0, 10, 1, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := NewSparseVector(rng, 1, 10, 0, 1); err == nil {
+		t.Error("zero sensitivity accepted")
+	}
+	if _, err := NewSparseVector(rng, 1, 10, 1, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := NewSparseVector(nil, 1, 10, 1, 1); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestSparseVectorSeparatesClearCases(t *testing.T) {
+	// With a generous budget, values far from the threshold classify right.
+	rng := rand.New(rand.NewSource(2))
+	hits, misses := 0, 0
+	const rounds = 300
+	for r := 0; r < rounds; r++ {
+		sv, err := NewSparseVector(rng, 8, 100, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		above, err := sv.Query(200) // far above
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above {
+			hits++
+		}
+		sv2, _ := NewSparseVector(rng, 8, 100, 1, 1)
+		below, _ := sv2.Query(0) // far below
+		if below {
+			misses++
+		}
+	}
+	if hits < rounds*9/10 {
+		t.Errorf("far-above reported %d/%d", hits, rounds)
+	}
+	if misses > rounds/10 {
+		t.Errorf("far-below reported %d/%d", misses, rounds)
+	}
+}
+
+func TestSparseVectorExhaustsAfterCReports(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sv, _ := NewSparseVector(rng, 10, 0, 1, 2)
+	reports := 0
+	var exhausted bool
+	for i := 0; i < 100; i++ {
+		ok, err := sv.Query(1000) // always far above
+		if errors.Is(err, ErrBudgetExhausted) {
+			exhausted = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			reports++
+		}
+	}
+	if reports != 2 {
+		t.Errorf("positive reports = %d, want 2", reports)
+	}
+	if !exhausted {
+		t.Error("SVT did not exhaust after c reports")
+	}
+	if sv.Remaining() != 0 {
+		t.Errorf("Remaining = %d", sv.Remaining())
+	}
+}
+
+func TestSparseVectorNegativesAreFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sv, _ := NewSparseVector(rng, 10, 1000, 1, 1)
+	for i := 0; i < 1000; i++ {
+		ok, err := sv.Query(-1000)
+		if err != nil {
+			t.Fatalf("negative answer %d errored: %v", i, err)
+		}
+		if ok {
+			t.Fatal("far-below value reported above")
+		}
+	}
+	if sv.Remaining() != 1 {
+		t.Error("negative answers consumed budget")
+	}
+}
+
+func TestExponentialValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := Exponential(rng, nil, 1, 1); err == nil {
+		t.Error("empty scores accepted")
+	}
+	if _, err := Exponential(rng, []float64{1}, 0, 1); err == nil {
+		t.Error("zero sensitivity accepted")
+	}
+	if _, err := Exponential(rng, []float64{1}, 1, -1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestExponentialPrefersHighScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	scores := []float64{0, 0, 10}
+	counts := make([]int, 3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		idx, err := Exponential(rng, scores, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if counts[2] < n*9/10 {
+		t.Errorf("best candidate chosen %d/%d", counts[2], n)
+	}
+}
+
+func TestExponentialZeroEpsilonUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scores := []float64{0, 100}
+	counts := make([]int, 2)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		idx, _ := Exponential(rng, scores, 1, 0)
+		counts[idx]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("eps=0 not uniform: %v", counts)
+	}
+}
+
+func TestExponentialDPRatioEmpirically(t *testing.T) {
+	// Neighboring score vectors (one score changed by sens) must produce
+	// selection distributions within e^eps.
+	eps := Epsilon(1)
+	sens := 1.0
+	a := []float64{3, 2, 1}
+	b := []float64{2, 2, 1} // first score lowered by sens
+	const n = 300000
+	sample := func(scores []float64, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		counts := make([]float64, len(scores))
+		for i := 0; i < n; i++ {
+			idx, _ := Exponential(rng, scores, sens, eps)
+			counts[idx]++
+		}
+		return counts
+	}
+	ca := sample(a, 8)
+	cb := sample(b, 9)
+	for i := range ca {
+		if ca[i] == 0 || cb[i] == 0 {
+			continue
+		}
+		ratio := math.Abs(math.Log(ca[i] / cb[i]))
+		if ratio > float64(eps)+0.05 {
+			t.Errorf("candidate %d ratio %v exceeds eps", i, ratio)
+		}
+	}
+}
+
+func TestExponentialSingleCandidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	idx, err := Exponential(rng, []float64{5}, 1, 1)
+	if err != nil || idx != 0 {
+		t.Errorf("single candidate: idx=%d err=%v", idx, err)
+	}
+}

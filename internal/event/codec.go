@@ -1,0 +1,177 @@
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Wire formats for events: a JSON codec for tooling and an append-friendly
+// line codec (one event per line) for traces. Both round-trip all event
+// fields including typed attributes.
+
+// jsonEvent is the serialized form.
+type jsonEvent struct {
+	Type   string               `json:"type"`
+	Time   int64                `json:"time"`
+	Wall   *time.Time           `json:"wall,omitempty"`
+	Source string               `json:"source,omitempty"`
+	Attrs  map[string]jsonValue `json:"attrs,omitempty"`
+}
+
+type jsonValue struct {
+	Kind string `json:"kind"`
+	// Exactly one of the payload fields is set, per Kind.
+	Int    *int64   `json:"int,omitempty"`
+	Float  *float64 `json:"float,omitempty"`
+	String *string  `json:"string,omitempty"`
+	Bool   *bool    `json:"bool,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	je := jsonEvent{Type: string(e.Type), Time: int64(e.Time), Source: e.Source}
+	if !e.Wall.IsZero() {
+		w := e.Wall
+		je.Wall = &w
+	}
+	if len(e.Attrs) > 0 {
+		je.Attrs = make(map[string]jsonValue, len(e.Attrs))
+		for k, v := range e.Attrs {
+			jv, err := toJSONValue(v)
+			if err != nil {
+				return nil, fmt.Errorf("event: attribute %q: %w", k, err)
+			}
+			je.Attrs[k] = jv
+		}
+	}
+	return json.Marshal(je)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var je jsonEvent
+	if err := json.Unmarshal(data, &je); err != nil {
+		return err
+	}
+	if je.Type == "" {
+		return fmt.Errorf("event: missing type")
+	}
+	out := Event{Type: Type(je.Type), Time: Timestamp(je.Time), Source: je.Source}
+	if je.Wall != nil {
+		out.Wall = *je.Wall
+	}
+	if len(je.Attrs) > 0 {
+		out.Attrs = make(map[string]Value, len(je.Attrs))
+		for k, jv := range je.Attrs {
+			v, err := fromJSONValue(jv)
+			if err != nil {
+				return fmt.Errorf("event: attribute %q: %w", k, err)
+			}
+			out.Attrs[k] = v
+		}
+	}
+	*e = out
+	return nil
+}
+
+func toJSONValue(v Value) (jsonValue, error) {
+	switch v.Kind() {
+	case KindInt:
+		i, _ := v.AsInt()
+		return jsonValue{Kind: "int", Int: &i}, nil
+	case KindFloat:
+		f, _ := v.AsFloat()
+		return jsonValue{Kind: "float", Float: &f}, nil
+	case KindString:
+		s, _ := v.AsString()
+		return jsonValue{Kind: "string", String: &s}, nil
+	case KindBool:
+		b, _ := v.AsBool()
+		return jsonValue{Kind: "bool", Bool: &b}, nil
+	default:
+		return jsonValue{}, fmt.Errorf("invalid value kind")
+	}
+}
+
+func fromJSONValue(jv jsonValue) (Value, error) {
+	switch jv.Kind {
+	case "int":
+		if jv.Int == nil {
+			return Value{}, fmt.Errorf("int value missing payload")
+		}
+		return Int(*jv.Int), nil
+	case "float":
+		if jv.Float == nil {
+			return Value{}, fmt.Errorf("float value missing payload")
+		}
+		return Float(*jv.Float), nil
+	case "string":
+		if jv.String == nil {
+			return Value{}, fmt.Errorf("string value missing payload")
+		}
+		return String(*jv.String), nil
+	case "bool":
+		if jv.Bool == nil {
+			return Value{}, fmt.Errorf("bool value missing payload")
+		}
+		return Bool(*jv.Bool), nil
+	default:
+		return Value{}, fmt.Errorf("unknown value kind %q", jv.Kind)
+	}
+}
+
+// WriteJSONLines writes events as newline-delimited JSON.
+func WriteJSONLines(w io.Writer, evs []Event) error {
+	enc := json.NewEncoder(w)
+	for i := range evs {
+		if err := enc.Encode(evs[i]); err != nil {
+			return fmt.Errorf("event: encoding event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONLines reads newline-delimited JSON events until EOF.
+func ReadJSONLines(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("event: decoding event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}
+
+// MarshalLine renders the event in a compact single-line text form:
+//
+//	type<TAB>time<TAB>source
+//
+// Attributes and wall time are not included — the line codec is for quick
+// traces where the triple is enough. Use JSON for full fidelity.
+func (e Event) MarshalLine() string {
+	return fmt.Sprintf("%s\t%d\t%s", e.Type, e.Time, e.Source)
+}
+
+// ParseLine parses the MarshalLine form.
+func ParseLine(line string) (Event, error) {
+	parts := strings.Split(line, "\t")
+	if len(parts) != 3 {
+		return Event{}, fmt.Errorf("event: line has %d fields, want 3", len(parts))
+	}
+	if parts[0] == "" {
+		return Event{}, fmt.Errorf("event: empty type")
+	}
+	ts, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("event: bad timestamp %q: %w", parts[1], err)
+	}
+	return Event{Type: Type(parts[0]), Time: Timestamp(ts), Source: parts[2]}, nil
+}

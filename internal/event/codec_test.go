@@ -1,0 +1,152 @@
+package event
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fullEvent() Event {
+	return New("gps-fix", 42).
+		WithSource("taxi-7").
+		WithWall(time.Date(2008, 2, 2, 15, 36, 8, 0, time.UTC)).
+		WithAttr("x", Int(3)).
+		WithAttr("speed", Float(12.5)).
+		WithAttr("road", String("ring-2")).
+		WithAttr("occupied", Bool(true))
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := fullEvent()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Event
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(out) {
+		t.Errorf("round trip lost data:\n in = %v\nout = %v", in, out)
+	}
+	if !in.Wall.Equal(out.Wall) {
+		t.Errorf("wall time lost: %v vs %v", in.Wall, out.Wall)
+	}
+}
+
+func TestJSONRoundTripMinimal(t *testing.T) {
+	in := New("a", 1)
+	data, _ := json.Marshal(in)
+	// No attrs, no wall, no source → compact encoding.
+	s := string(data)
+	if strings.Contains(s, "attrs") || strings.Contains(s, "wall") || strings.Contains(s, "source") {
+		t.Errorf("minimal event has spurious fields: %s", s)
+	}
+	var out Event
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(out) {
+		t.Error("minimal round trip failed")
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{}`, // missing type
+		`{"type":"a","attrs":{"k":{"kind":"wat"}}}`,   // unknown kind
+		`{"type":"a","attrs":{"k":{"kind":"int"}}}`,   // missing payload
+		`{"type":"a","attrs":{"k":{"kind":"float"}}}`, // missing payload
+		`{"type":"a","attrs":{"k":{"kind":"string"}}}`,
+		`{"type":"a","attrs":{"k":{"kind":"bool"}}}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		var e Event
+		if err := json.Unmarshal([]byte(c), &e); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestMarshalInvalidAttr(t *testing.T) {
+	e := New("a", 1)
+	e.Attrs = map[string]Value{"bad": {}}
+	if _, err := json.Marshal(e); err == nil {
+		t.Error("invalid attribute kind accepted")
+	}
+}
+
+func TestJSONLines(t *testing.T) {
+	evs := []Event{fullEvent(), New("b", 2), New("c", 3).WithSource("s")}
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d events", len(got))
+	}
+	for i := range evs {
+		if !evs[i].Equal(got[i]) {
+			t.Errorf("event %d differs", i)
+		}
+	}
+}
+
+func TestReadJSONLinesEmpty(t *testing.T) {
+	got, err := ReadJSONLines(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty read: %v, %v", got, err)
+	}
+}
+
+func TestReadJSONLinesBadLine(t *testing.T) {
+	if _, err := ReadJSONLines(strings.NewReader(`{"type":"a"}` + "\nnot-json\n")); err == nil {
+		t.Error("bad line accepted")
+	}
+}
+
+func TestLineCodec(t *testing.T) {
+	in := New("fix", 7).WithSource("taxi-1")
+	line := in.MarshalLine()
+	out, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(out) {
+		t.Errorf("line round trip: %v vs %v", in, out)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"only-one-field",
+		"a\tb", // two fields
+		"a\tnot-a-number\tsrc",
+		"\t5\tsrc", // empty type
+		"a\t5\tsrc\textra",
+	}
+	for _, l := range bad {
+		if _, err := ParseLine(l); err == nil {
+			t.Errorf("line %q accepted", l)
+		}
+	}
+}
+
+func TestLineCodecEmptySource(t *testing.T) {
+	in := New("fix", 9)
+	out, err := ParseLine(in.MarshalLine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(out) {
+		t.Error("empty-source round trip failed")
+	}
+}

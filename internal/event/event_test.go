@@ -1,0 +1,264 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind ValueKind
+		str  string
+	}{
+		{Int(42), KindInt, "42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{String("hi"), KindString, "hi"},
+		{Bool(true), KindBool, "true"},
+		{Value{}, KindInvalid, "<invalid>"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if v, ok := Int(7).AsInt(); !ok || v != 7 {
+		t.Errorf("AsInt = %d,%t", v, ok)
+	}
+	if _, ok := Int(7).AsString(); ok {
+		t.Error("int AsString should fail")
+	}
+	if f, ok := Int(7).AsFloat(); !ok || f != 7 {
+		t.Errorf("int AsFloat = %g,%t; want 7,true (widening)", f, ok)
+	}
+	if f, ok := Float(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Errorf("AsFloat = %g,%t", f, ok)
+	}
+	if s, ok := String("x").AsString(); !ok || s != "x" {
+		t.Errorf("AsString = %q,%t", s, ok)
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Errorf("AsBool = %t,%t", b, ok)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(1).Equal(Int(1)) {
+		t.Error("Int(1) != Int(1)")
+	}
+	if Int(1).Equal(Int(2)) {
+		t.Error("Int(1) == Int(2)")
+	}
+	if Int(1).Equal(Float(1)) {
+		t.Error("Int(1) == Float(1): kinds must match")
+	}
+	if !String("a").Equal(String("a")) {
+		t.Error("strings unequal")
+	}
+	if Bool(true).Equal(Bool(false)) {
+		t.Error("bools equal")
+	}
+	if !(Value{}).Equal(Value{}) {
+		t.Error("invalid values should be equal")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[ValueKind]string{
+		KindInt: "int", KindFloat: "float", KindString: "string",
+		KindBool: "bool", KindInvalid: "invalid",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestEventImmutability(t *testing.T) {
+	e := New("a", 1)
+	e2 := e.WithAttr("x", Int(1))
+	if len(e.Attrs) != 0 {
+		t.Error("WithAttr mutated the receiver")
+	}
+	e3 := e2.WithAttr("y", Int(2))
+	if len(e2.Attrs) != 1 {
+		t.Error("second WithAttr mutated first copy")
+	}
+	if v, ok := e3.Attr("x"); !ok || !v.Equal(Int(1)) {
+		t.Error("attribute x lost after chained WithAttr")
+	}
+}
+
+func TestEventEqual(t *testing.T) {
+	a := New("a", 1).WithSource("s").WithAttr("k", Int(3))
+	b := New("a", 1).WithSource("s").WithAttr("k", Int(3))
+	if !a.Equal(b) {
+		t.Error("identical events not equal")
+	}
+	if a.Equal(b.WithAttr("k", Int(4))) {
+		t.Error("different attr values equal")
+	}
+	if a.Equal(b.WithAttr("j", Int(3))) {
+		t.Error("different attr sets equal")
+	}
+	if a.Equal(New("a", 2).WithSource("s").WithAttr("k", Int(3))) {
+		t.Error("different times equal")
+	}
+	if a.Equal(New("b", 1).WithSource("s").WithAttr("k", Int(3))) {
+		t.Error("different types equal")
+	}
+	// Wall clock is ignored.
+	if !a.Equal(b.WithWall(time.Unix(99, 0))) {
+		t.Error("wall clock should not affect equality")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := New("go", 7).WithSource("taxi1").WithAttr("cell", Int(3)).WithAttr("a", String("z"))
+	got := e.String()
+	want := "go@7/taxi1{a=z,cell=3}"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestBeforeOrdering(t *testing.T) {
+	a := New("a", 1)
+	b := New("b", 2)
+	if !a.Before(b) || b.Before(a) {
+		t.Error("time ordering broken")
+	}
+	// Tie on time: source breaks tie.
+	c := New("a", 1).WithSource("s1")
+	d := New("a", 1).WithSource("s2")
+	if !c.Before(d) {
+		t.Error("source tiebreak broken")
+	}
+	// Tie on time+source: type breaks tie.
+	e := New("a", 1)
+	f := New("b", 1)
+	if !e.Before(f) {
+		t.Error("type tiebreak broken")
+	}
+}
+
+func TestSortEventsDeterministic(t *testing.T) {
+	evs := []Event{New("c", 3), New("a", 1), New("b", 1), New("z", 2)}
+	SortEvents(evs)
+	want := []Type{"a", "b", "z", "c"}
+	for i, ty := range TypesOf(evs) {
+		if ty != want[i] {
+			t.Fatalf("order = %v, want %v", TypesOf(evs), want)
+		}
+	}
+}
+
+func TestSortEventsProperty(t *testing.T) {
+	// Property: after SortEvents, every adjacent pair is ordered by Before.
+	f := func(times []int8) bool {
+		evs := make([]Event, len(times))
+		for i, ts := range times {
+			evs[i] = New(Type(rune('a'+i%26)), Timestamp(ts))
+		}
+		SortEvents(evs)
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Before(evs[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPatternSortsEvents(t *testing.T) {
+	p := NewPattern("p", New("b", 2), New("a", 1))
+	if p.Events[0].Type != "a" {
+		t.Error("NewPattern did not sort")
+	}
+	if p.Start() != 1 || p.End() != 2 {
+		t.Errorf("Start/End = %d/%d", p.Start(), p.End())
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	p := NewPattern("empty")
+	if p.Start() != 0 || p.End() != 0 || p.Len() != 0 {
+		t.Error("empty pattern accessors broken")
+	}
+}
+
+func TestPatternContainsOverlaps(t *testing.T) {
+	e1, e2, e3 := New("a", 1), New("b", 2), New("c", 3)
+	p := NewPattern("p", e1, e2)
+	q := NewPattern("q", e2, e3)
+	r := NewPattern("r", e3)
+	if !p.Contains(e1) || p.Contains(e3) {
+		t.Error("Contains broken")
+	}
+	if !p.Overlaps(q) {
+		t.Error("p and q share e2, should overlap")
+	}
+	if p.Overlaps(r) {
+		t.Error("p and r share nothing")
+	}
+}
+
+func TestPatternEqual(t *testing.T) {
+	e1, e2 := New("a", 1), New("b", 2)
+	p := NewPattern("p", e1, e2)
+	if !p.Equal(NewPattern("p", e2, e1)) {
+		t.Error("order-insensitive construction should yield equal patterns")
+	}
+	if p.Equal(NewPattern("q", e1, e2)) {
+		t.Error("different names equal")
+	}
+	if p.Equal(NewPattern("p", e1)) {
+		t.Error("different lengths equal")
+	}
+}
+
+func TestInPatternNeighbor(t *testing.T) {
+	e1, e2, e3 := New("a", 1), New("b", 2), New("c", 3)
+	e2x := New("x", 2)
+	p := NewPattern("p", e1, e2, e3)
+	q := NewPattern("p", e1, e2x, e3)
+	if !p.InPatternNeighbor(q) {
+		t.Error("single-element difference should be neighbors")
+	}
+	if p.InPatternNeighbor(p) {
+		t.Error("identical patterns are not neighbors (need exactly one diff)")
+	}
+	r := NewPattern("p", New("x", 1), New("y", 2), e3)
+	if p.InPatternNeighbor(r) {
+		t.Error("two diffs are not neighbors")
+	}
+	if p.InPatternNeighbor(NewPattern("p", e1, e2)) {
+		t.Error("different lengths are not neighbors")
+	}
+	if NewPattern("p").InPatternNeighbor(NewPattern("p")) {
+		t.Error("empty patterns are not neighbors")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := NewPattern("jam", New("a", 1), New("b", 2))
+	got := p.String()
+	want := "jam(seq a@1, b@2)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

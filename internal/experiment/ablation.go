@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"patterndp/internal/dp"
+	"patterndp/internal/synth"
+)
+
+// AblationRow is one cell of an ablation sweep: a swept parameter value and
+// the MRE of each mechanism at that value.
+type AblationRow struct {
+	// Param is the swept parameter value.
+	Param float64
+	// Results holds one result per mechanism at this parameter value.
+	Results []Result
+}
+
+// AblationAlpha sweeps the quality weighting α at a fixed budget (ablation
+// A1 of DESIGN.md): the paper fixes α = 0.5; this shows the sensitivity of
+// the comparison to that choice.
+func AblationAlpha(cfg Fig4Config, eps dp.Epsilon, alphas []float64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, alpha := range alphas {
+		scfg := synth.DefaultConfig(cfg.Seed)
+		b, err := SynthBench(scfg, cfg.WEventW, alpha)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := RunSweep(b, SweepConfig{
+			Epsilons: []dp.Epsilon{eps},
+			Specs:    Fig4Specs(),
+			Reps:     cfg.Reps,
+			Seed:     cfg.Seed,
+			Adaptive: cfg.Adaptive,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Param: alpha, Results: rs})
+	}
+	return rows, nil
+}
+
+// AblationPatternLength sweeps the private/target pattern length m on the
+// synthetic generator (ablation A2): the pattern-level advantage grows with
+// m because only pattern elements are perturbed.
+func AblationPatternLength(cfg Fig4Config, eps dp.Epsilon, lengths []int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, m := range lengths {
+		scfg := synth.DefaultConfig(cfg.Seed)
+		scfg.PatternLen = m
+		b, err := SynthBench(scfg, cfg.WEventW, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := RunSweep(b, SweepConfig{
+			Epsilons: []dp.Epsilon{eps},
+			Specs:    Fig4Specs(),
+			Reps:     cfg.Reps,
+			Seed:     cfg.Seed,
+			Adaptive: cfg.Adaptive,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Param: float64(m), Results: rs})
+	}
+	return rows, nil
+}
+
+// AblationOverlap sweeps the private∩target overlap fraction of the taxi
+// areas (ablation A3): with no overlap the private area never affects
+// target quality; with full overlap every private cell is also queried.
+func AblationOverlap(cfg Fig4Config, eps dp.Epsilon, overlaps []float64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, o := range overlaps {
+		tcfg := cfg.TaxiCfg
+		tcfg.PrivateTargetOverlap = o
+		b, err := TaxiBench(tcfg, cfg.TaxiWindowTicks, cfg.WEventW, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := RunSweep(b, SweepConfig{
+			Epsilons: []dp.Epsilon{eps},
+			Specs:    []MechanismSpec{SpecUniform, SpecBD, SpecBA, SpecLandmark},
+			Reps:     cfg.Reps,
+			Seed:     cfg.Seed,
+			Adaptive: cfg.Adaptive,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Param: o, Results: rs})
+	}
+	return rows, nil
+}
+
+// AblationStepFactor sweeps Algorithm 1's step size δε = f·m·ε (ablation
+// A4), reporting only the adaptive mechanism.
+func AblationStepFactor(cfg Fig4Config, eps dp.Epsilon, factors []float64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, f := range factors {
+		acfg := cfg.Adaptive
+		acfg.StepFactor = f
+		scfg := synth.DefaultConfig(cfg.Seed)
+		b, err := SynthBench(scfg, cfg.WEventW, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := RunSweep(b, SweepConfig{
+			Epsilons: []dp.Epsilon{eps},
+			Specs:    []MechanismSpec{SpecAdaptive},
+			Reps:     cfg.Reps,
+			Seed:     cfg.Seed,
+			Adaptive: acfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Param: f, Results: rs})
+	}
+	return rows, nil
+}
+
+// BudgetSplitDemo prints the uniform budget distribution of Fig. 3 for a
+// pattern of length m: ε_i = ε/m per element and the resulting flip
+// probabilities.
+func BudgetSplitDemo(w io.Writer, eps dp.Epsilon, m int) error {
+	d, err := dp.UniformDistribution(eps, m)
+	if err != nil {
+		return err
+	}
+	probs := d.FlipProbs()
+	fmt.Fprintf(w, "uniform split of eps=%.3f over m=%d elements (Fig. 3)\n", float64(eps), m)
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(w, "  e%-3d eps_i=%.4f  p_i=%.4f\n", i+1, float64(d.Part(i)), probs[i])
+	}
+	fmt.Fprintf(w, "  composed pattern-level budget: %.4f\n", float64(dp.ComposedEpsilon(probs)))
+	return nil
+}
+
+// WriteAblation renders ablation rows: one row per parameter value, one
+// column per mechanism.
+func WriteAblation(w io.Writer, title, paramName string, rows []AblationRow) {
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "%s: no results\n", title)
+		return
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s", paramName)
+	for _, r := range rows[0].Results {
+		fmt.Fprintf(w, "%12s", r.Mechanism)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-10.3f", row.Param)
+		for _, r := range row.Results {
+			fmt.Fprintf(w, "%12.4f", r.MRE.Mean)
+		}
+		fmt.Fprintln(w)
+	}
+}

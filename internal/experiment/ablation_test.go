@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"patterndp/internal/core"
+	"patterndp/internal/taxi"
+)
+
+func quickCfg(seed int64) Fig4Config {
+	cfg := DefaultFig4Config(seed)
+	cfg.Reps = 1
+	cfg.Adaptive = core.AdaptiveConfig{MaxIters: 2}
+	cfg.TaxiCfg = taxi.DefaultConfig(seed)
+	cfg.TaxiCfg.GridW, cfg.TaxiCfg.GridH = 6, 6
+	cfg.TaxiCfg.NumTaxis = 8
+	cfg.TaxiCfg.Ticks = 80
+	return cfg
+}
+
+func TestAblationPatternLength(t *testing.T) {
+	rows, err := AblationPatternLength(quickCfg(1), 1.0, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Param != 1 || rows[1].Param != 2 {
+		t.Errorf("params = %v, %v", rows[0].Param, rows[1].Param)
+	}
+	// Each row covers the Fig. 4 mechanism set.
+	if len(rows[0].Results) != len(Fig4Specs()) {
+		t.Errorf("row results = %d", len(rows[0].Results))
+	}
+	// Longer patterns should hurt the uniform PPM (budget spreads thinner).
+	mre := func(row AblationRow, spec MechanismSpec) float64 {
+		for _, r := range row.Results {
+			if r.Mechanism == spec {
+				return r.MRE.Mean
+			}
+		}
+		t.Fatalf("spec %s missing", spec)
+		return 0
+	}
+	if mre(rows[1], SpecUniform) < mre(rows[0], SpecUniform)-0.05 {
+		t.Errorf("m=2 uniform MRE %v much lower than m=1 %v",
+			mre(rows[1], SpecUniform), mre(rows[0], SpecUniform))
+	}
+}
+
+func TestAblationPatternLengthInvalid(t *testing.T) {
+	// PatternLen > NumTypes must surface the generator's validation error.
+	if _, err := AblationPatternLength(quickCfg(2), 1.0, []int{999}); err == nil {
+		t.Error("invalid length accepted")
+	}
+}
+
+func TestAblationOverlap(t *testing.T) {
+	rows, err := AblationOverlap(quickCfg(3), 1.0, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	uniform := func(row AblationRow) float64 {
+		for _, r := range row.Results {
+			if r.Mechanism == SpecUniform {
+				return r.MRE.Mean
+			}
+		}
+		t.Fatal("uniform missing")
+		return 0
+	}
+	// At zero overlap the pattern-level PPM perturbs nothing the targets
+	// query: MRE must be (near) zero; at full overlap it must be larger.
+	if uniform(rows[0]) > 0.01 {
+		t.Errorf("zero-overlap uniform MRE = %v, want ~0", uniform(rows[0]))
+	}
+	if uniform(rows[1]) < uniform(rows[0]) {
+		t.Errorf("full-overlap MRE %v below zero-overlap %v",
+			uniform(rows[1]), uniform(rows[0]))
+	}
+	var sb strings.Builder
+	WriteAblation(&sb, "overlap", "overlap", rows)
+	if !strings.Contains(sb.String(), "overlap") {
+		t.Error("table broken")
+	}
+}
+
+func TestAblationOverlapInvalid(t *testing.T) {
+	cfg := quickCfg(4)
+	if _, err := AblationOverlap(cfg, 1.0, []float64{2.0}); err == nil {
+		t.Error("overlap > 1 accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package experiment is the harness that regenerates the paper's evaluation
+// (Section VI): it prepares benchmark contexts from the Taxi and synthetic
+// datasets, instantiates every mechanism at a given pattern-level budget,
+// runs ε sweeps, and reports MRE tables matching Fig. 4, plus the ablation
+// sweeps listed in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+
+	"patterndp/internal/baseline"
+	"patterndp/internal/cep"
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/event"
+	"patterndp/internal/synth"
+	"patterndp/internal/taxi"
+)
+
+// Bench is a prepared dataset context: evaluation windows, fitting history,
+// target expressions, and private pattern types.
+type Bench struct {
+	// Name labels the dataset in output.
+	Name string
+	// Eval are the indicator windows quality is measured on.
+	Eval []core.IndicatorWindow
+	// History are the indicator windows the adaptive PPM fits on (the
+	// historical data of the system model). They may overlap Eval.
+	History []core.IndicatorWindow
+	// Targets are the target-pattern expressions.
+	Targets []cep.Expr
+	// Private are the private pattern types.
+	Private []core.PatternType
+	// Alpha weighs precision vs recall (paper: 0.5).
+	Alpha float64
+	// WEventW is the w parameter handed to the w-event baselines.
+	WEventW int
+}
+
+// Validate reports missing pieces.
+func (b *Bench) Validate() error {
+	switch {
+	case b.Name == "":
+		return fmt.Errorf("experiment: bench without name")
+	case len(b.Eval) == 0:
+		return fmt.Errorf("experiment: bench %q has no evaluation windows", b.Name)
+	case len(b.Targets) == 0:
+		return fmt.Errorf("experiment: bench %q has no targets", b.Name)
+	case len(b.Private) == 0:
+		return fmt.Errorf("experiment: bench %q has no private patterns", b.Name)
+	case b.Alpha < 0 || b.Alpha > 1:
+		return fmt.Errorf("experiment: bench %q alpha %v", b.Name, b.Alpha)
+	case b.WEventW <= 0:
+		return fmt.Errorf("experiment: bench %q w=%d", b.Name, b.WEventW)
+	}
+	return nil
+}
+
+// TaxiBench simulates a taxi fleet and prepares the Fig. 4 (left) context:
+// single-cell private and target patterns over tumbling windows of
+// windowTicks sampling periods. The adaptive history is the first half of
+// the windows; quality is evaluated on the second half.
+func TaxiBench(cfg taxi.Config, windowTicks int, weventW int, alpha float64) (*Bench, error) {
+	ds, err := taxi.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if windowTicks <= 0 {
+		return nil, fmt.Errorf("experiment: windowTicks = %d", windowTicks)
+	}
+	ws := ds.Windows(event.Timestamp(windowTicks))
+	iws := core.IndicatorWindows(ws, ds.AllCellTypes())
+	half := len(iws) / 2
+	if half == 0 {
+		half = len(iws)
+	}
+	b := &Bench{
+		Name:    "taxi",
+		Eval:    iws[half:],
+		History: iws[:half],
+		Targets: ds.TargetExprs(),
+		Private: ds.PrivateTypes(),
+		Alpha:   alpha,
+		WEventW: weventW,
+	}
+	if len(b.Eval) == 0 {
+		b.Eval = iws
+	}
+	return b, b.Validate()
+}
+
+// SynthBench generates one synthetic dataset (Algorithm 2) and prepares the
+// Fig. 4 (right) context. History and evaluation split the windows in half.
+func SynthBench(cfg synth.Config, weventW int, alpha float64) (*Bench, error) {
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	iws := ds.IndicatorWindows()
+	half := len(iws) / 2
+	if half == 0 {
+		half = len(iws)
+	}
+	b := &Bench{
+		Name:    "synthetic",
+		Eval:    iws[half:],
+		History: iws[:half],
+		Targets: ds.TargetExprs(),
+		Private: ds.PrivateTypes(),
+		Alpha:   alpha,
+		WEventW: weventW,
+	}
+	if len(b.Eval) == 0 {
+		b.Eval = iws
+	}
+	return b, b.Validate()
+}
+
+// MechanismSpec names one of the compared mechanisms.
+type MechanismSpec string
+
+// The mechanisms of Fig. 4, plus the identity control and the extended
+// mechanism family (count-release PPM and the w-event strawmen).
+const (
+	SpecIdentity      MechanismSpec = "identity"
+	SpecUniform       MechanismSpec = "uniform"
+	SpecAdaptive      MechanismSpec = "adaptive"
+	SpecBD            MechanismSpec = "bd"
+	SpecBA            MechanismSpec = "ba"
+	SpecLandmark      MechanismSpec = "landmark"
+	SpecCount         MechanismSpec = "count"
+	SpecWEventUniform MechanismSpec = "wevent-uniform"
+	SpecWEventSample  MechanismSpec = "wevent-sample"
+)
+
+// Fig4Specs are the five mechanisms the paper compares.
+func Fig4Specs() []MechanismSpec {
+	return []MechanismSpec{SpecUniform, SpecAdaptive, SpecBD, SpecBA, SpecLandmark}
+}
+
+// ExtendedSpecs adds the count-release PPM and the w-event strawmen to the
+// Fig. 4 family, for the extended comparison table.
+func ExtendedSpecs() []MechanismSpec {
+	return append(Fig4Specs(), SpecCount, SpecWEventUniform, SpecWEventSample)
+}
+
+// BuildMechanism instantiates a mechanism at the given pattern-level budget.
+// adaptive uses acfg (Epsilon and Alpha are overridden from eps and the
+// bench); pass a zero AdaptiveConfig for defaults.
+func (b *Bench) BuildMechanism(spec MechanismSpec, eps dp.Epsilon, acfg core.AdaptiveConfig) (core.Mechanism, error) {
+	switch spec {
+	case SpecIdentity:
+		return core.Identity{}, nil
+	case SpecUniform:
+		return core.NewUniformPPM(eps, b.Private...)
+	case SpecAdaptive:
+		acfg.Epsilon = eps
+		acfg.Alpha = b.Alpha
+		return core.NewAdaptivePPM(acfg, b.History, b.Targets, b.Private...)
+	case SpecBD:
+		return baseline.NewBudgetDistribution(baseline.WEventConfig{
+			PatternEpsilon: eps, W: b.WEventW, Private: b.Private,
+		})
+	case SpecBA:
+		return baseline.NewBudgetAbsorption(baseline.WEventConfig{
+			PatternEpsilon: eps, W: b.WEventW, Private: b.Private,
+		})
+	case SpecLandmark:
+		return baseline.NewLandmark(baseline.LandmarkConfig{
+			PatternEpsilon: eps, Private: b.Private,
+		})
+	case SpecCount:
+		return core.NewCountPPM(eps, b.Private...)
+	case SpecWEventUniform:
+		return baseline.NewWEventUniform(baseline.WEventConfig{
+			PatternEpsilon: eps, W: b.WEventW, Private: b.Private,
+		})
+	case SpecWEventSample:
+		return baseline.NewWEventSample(baseline.WEventConfig{
+			PatternEpsilon: eps, W: b.WEventW, Private: b.Private,
+		})
+	default:
+		return nil, fmt.Errorf("experiment: unknown mechanism %q", spec)
+	}
+}

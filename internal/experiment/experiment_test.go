@@ -1,0 +1,366 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/synth"
+	"patterndp/internal/taxi"
+)
+
+// smallSynthBench builds a fast synthetic bench for tests.
+func smallSynthBench(t *testing.T, seed int64) *Bench {
+	t.Helper()
+	cfg := synth.DefaultConfig(seed)
+	cfg.NumWindows = 120
+	b, err := SynthBench(cfg, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// smallTaxiBench builds a fast taxi bench for tests.
+func smallTaxiBench(t *testing.T, seed int64) *Bench {
+	t.Helper()
+	cfg := taxi.DefaultConfig(seed)
+	cfg.GridW, cfg.GridH = 6, 6
+	cfg.NumTaxis = 10
+	cfg.Ticks = 120
+	b, err := TaxiBench(cfg, 4, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func fastSweep(epsilons []dp.Epsilon, specs []MechanismSpec, seed int64) SweepConfig {
+	return SweepConfig{
+		Epsilons: epsilons,
+		Specs:    specs,
+		Reps:     2,
+		Seed:     seed,
+		Adaptive: core.AdaptiveConfig{MaxIters: 5},
+	}
+}
+
+func TestBenchValidate(t *testing.T) {
+	b := smallSynthBench(t, 1)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Bench){
+		func(b *Bench) { b.Name = "" },
+		func(b *Bench) { b.Eval = nil },
+		func(b *Bench) { b.Targets = nil },
+		func(b *Bench) { b.Private = nil },
+		func(b *Bench) { b.Alpha = 2 },
+		func(b *Bench) { b.WEventW = 0 },
+	}
+	for i, mutate := range cases {
+		bb := *b
+		mutate(&bb)
+		if err := bb.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSynthBenchSplit(t *testing.T) {
+	b := smallSynthBench(t, 2)
+	if len(b.History) == 0 || len(b.Eval) == 0 {
+		t.Fatal("history/eval split empty")
+	}
+	if len(b.History)+len(b.Eval) != 120 {
+		t.Errorf("split sizes %d+%d != 120", len(b.History), len(b.Eval))
+	}
+	if len(b.Targets) != 5 || len(b.Private) != 3 {
+		t.Errorf("targets/private = %d/%d", len(b.Targets), len(b.Private))
+	}
+}
+
+func TestTaxiBenchShape(t *testing.T) {
+	b := smallTaxiBench(t, 3)
+	if len(b.Private) == 0 || len(b.Targets) == 0 {
+		t.Fatal("empty private/target sets")
+	}
+	for _, pt := range b.Private {
+		if pt.Len() != 1 {
+			t.Errorf("taxi private pattern len = %d, want 1", pt.Len())
+		}
+	}
+}
+
+func TestTaxiBenchBadWindow(t *testing.T) {
+	cfg := taxi.DefaultConfig(1)
+	if _, err := TaxiBench(cfg, 0, 5, 0.5); err == nil {
+		t.Error("windowTicks=0 accepted")
+	}
+}
+
+func TestBuildMechanismAllSpecs(t *testing.T) {
+	b := smallSynthBench(t, 4)
+	for _, spec := range append(Fig4Specs(), SpecIdentity) {
+		m, err := b.BuildMechanism(spec, 1.0, core.AdaptiveConfig{MaxIters: 2})
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if string(spec) != m.Name() && spec != SpecIdentity {
+			t.Errorf("spec %s built mechanism named %s", spec, m.Name())
+		}
+	}
+	if _, err := b.BuildMechanism("bogus", 1, core.AdaptiveConfig{}); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}
+
+func TestSweepConfigValidate(t *testing.T) {
+	good := fastSweep([]dp.Epsilon{1}, []MechanismSpec{SpecUniform}, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SweepConfig{
+		{Specs: []MechanismSpec{SpecUniform}, Reps: 1},
+		{Epsilons: []dp.Epsilon{-1}, Specs: []MechanismSpec{SpecUniform}, Reps: 1},
+		{Epsilons: []dp.Epsilon{1}, Reps: 1},
+		{Epsilons: []dp.Epsilon{1}, Specs: []MechanismSpec{SpecUniform}, Reps: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad sweep %d accepted", i)
+		}
+	}
+}
+
+func TestRunSweepProducesAllCells(t *testing.T) {
+	b := smallSynthBench(t, 5)
+	rs, err := RunSweep(b, fastSweep([]dp.Epsilon{0.5, 5}, []MechanismSpec{SpecUniform, SpecBD}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("results = %d, want 4", len(rs))
+	}
+	for _, r := range rs {
+		if r.MRE.N != 2 {
+			t.Errorf("cell %s@%v has %d reps", r.Mechanism, r.Epsilon, r.MRE.N)
+		}
+		if r.MRE.Mean < -0.05 || r.MRE.Mean > 1.05 {
+			t.Errorf("MRE %v out of range for %s@%v", r.MRE.Mean, r.Mechanism, r.Epsilon)
+		}
+	}
+}
+
+func TestRunSweepDeterministic(t *testing.T) {
+	b := smallSynthBench(t, 6)
+	cfg := fastSweep([]dp.Epsilon{1}, []MechanismSpec{SpecUniform}, 42)
+	r1, err := RunSweep(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSweep(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0].MRE.Mean != r2[0].MRE.Mean {
+		t.Errorf("sweep not deterministic: %v vs %v", r1[0].MRE.Mean, r2[0].MRE.Mean)
+	}
+}
+
+func TestMREDecreasesWithEpsilon(t *testing.T) {
+	// The headline monotonic trend of Fig. 4: more budget, less error.
+	// Use well-separated budgets and the uniform mechanism (no fit noise).
+	b := smallSynthBench(t, 7)
+	rs, err := RunSweep(b, SweepConfig{
+		Epsilons: []dp.Epsilon{0.1, 20},
+		Specs:    []MechanismSpec{SpecUniform},
+		Reps:     4,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].MRE.Mean <= rs[1].MRE.Mean {
+		t.Errorf("MRE(0.1)=%v <= MRE(20)=%v", rs[0].MRE.Mean, rs[1].MRE.Mean)
+	}
+}
+
+func TestPatternLevelBeatsBaselines(t *testing.T) {
+	// The paper's headline claim at a moderate budget on the synthetic
+	// dataset: uniform (pattern-level) has lower MRE than BD, BA, landmark.
+	b := smallSynthBench(t, 8)
+	rs, err := RunSweep(b, SweepConfig{
+		Epsilons: []dp.Epsilon{2},
+		Specs:    []MechanismSpec{SpecUniform, SpecBD, SpecBA, SpecLandmark},
+		Reps:     4,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMech := map[MechanismSpec]float64{}
+	for _, r := range rs {
+		byMech[r.Mechanism] = r.MRE.Mean
+	}
+	for _, spec := range []MechanismSpec{SpecBD, SpecBA, SpecLandmark} {
+		if byMech[SpecUniform] >= byMech[spec] {
+			t.Errorf("uniform MRE %v not better than %s %v",
+				byMech[SpecUniform], spec, byMech[spec])
+		}
+	}
+}
+
+func TestIdentityHasZeroMRE(t *testing.T) {
+	b := smallSynthBench(t, 9)
+	rs, err := RunSweep(b, fastSweep([]dp.Epsilon{1}, []MechanismSpec{SpecIdentity}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].MRE.Mean != 0 {
+		t.Errorf("identity MRE = %v, want 0", rs[0].MRE.Mean)
+	}
+	if rs[0].Quality.Mean != 1 {
+		t.Errorf("identity quality = %v, want 1", rs[0].Quality.Mean)
+	}
+}
+
+func TestMergeResults(t *testing.T) {
+	b1 := smallSynthBench(t, 10)
+	b2 := smallSynthBench(t, 11)
+	cfg := fastSweep([]dp.Epsilon{1}, []MechanismSpec{SpecUniform}, 1)
+	r1, _ := RunSweep(b1, cfg)
+	r2, _ := RunSweep(b2, cfg)
+	merged := MergeResults(r1, r2)
+	if len(merged) != 1 {
+		t.Fatalf("merged cells = %d, want 1", len(merged))
+	}
+	if merged[0].MRE.N != 2 {
+		t.Errorf("merged N = %d, want 2", merged[0].MRE.N)
+	}
+	wantMean := (r1[0].MRE.Mean + r2[0].MRE.Mean) / 2
+	if diff := merged[0].MRE.Mean - wantMean; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("merged mean %v, want %v", merged[0].MRE.Mean, wantMean)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	b := smallSynthBench(t, 12)
+	rs, _ := RunSweep(b, fastSweep([]dp.Epsilon{0.5, 1}, []MechanismSpec{SpecUniform, SpecBA}, 1))
+	var sb strings.Builder
+	WriteTable(&sb, "test table", rs)
+	out := sb.String()
+	if !strings.Contains(out, "test table") || !strings.Contains(out, "uniform") || !strings.Contains(out, "ba") {
+		t.Errorf("table output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "0.50") || !strings.Contains(out, "1.00") {
+		t.Errorf("table missing epsilon rows:\n%s", out)
+	}
+	var empty strings.Builder
+	WriteTable(&empty, "none", nil)
+	if !strings.Contains(empty.String(), "no results") {
+		t.Error("empty table not handled")
+	}
+}
+
+func TestBudgetSplitDemo(t *testing.T) {
+	var sb strings.Builder
+	if err := BudgetSplitDemo(&sb, 1.5, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "eps_i=0.5000") {
+		t.Errorf("demo output missing uniform split:\n%s", out)
+	}
+	if !strings.Contains(out, "composed pattern-level budget: 1.5000") {
+		t.Errorf("demo output missing composition:\n%s", out)
+	}
+	if err := BudgetSplitDemo(&sb, 1, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestAblationAlphaRuns(t *testing.T) {
+	cfg := DefaultFig4Config(1)
+	cfg.Reps = 1
+	cfg.Adaptive.MaxIters = 2
+	// Shrink the dataset via a tiny sweep by reusing AblationAlpha but the
+	// generator config inside uses DefaultConfig; keep alphas small in count.
+	rows, err := AblationAlpha(cfg, 1.0, []float64{0.0, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sb strings.Builder
+	WriteAblation(&sb, "alpha ablation", "alpha", rows)
+	if !strings.Contains(sb.String(), "alpha ablation") {
+		t.Error("ablation table broken")
+	}
+	WriteAblation(&sb, "empty", "p", nil)
+	if !strings.Contains(sb.String(), "no results") {
+		t.Error("empty ablation not handled")
+	}
+}
+
+func TestAblationStepFactorRuns(t *testing.T) {
+	cfg := DefaultFig4Config(2)
+	cfg.Reps = 1
+	cfg.Adaptive.MaxIters = 2
+	rows, err := AblationStepFactor(cfg, 1.0, []float64{0.01, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Results) != 1 || row.Results[0].Mechanism != SpecAdaptive {
+			t.Errorf("row results = %+v", row.Results)
+		}
+	}
+}
+
+func TestFig4SyntheticSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 in short mode")
+	}
+	cfg := DefaultFig4Config(3)
+	cfg.Reps = 1
+	cfg.SynthDatasets = 1
+	cfg.Epsilons = []dp.Epsilon{1}
+	cfg.Adaptive.MaxIters = 2
+	rs, err := Fig4Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(Fig4Specs()) {
+		t.Errorf("results = %d, want %d", len(rs), len(Fig4Specs()))
+	}
+	if _, err := Fig4Synthetic(Fig4Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestFig4TaxiSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 in short mode")
+	}
+	cfg := DefaultFig4Config(4)
+	cfg.Reps = 1
+	cfg.Epsilons = []dp.Epsilon{1}
+	cfg.TaxiCfg.GridW, cfg.TaxiCfg.GridH = 6, 6
+	cfg.TaxiCfg.NumTaxis = 10
+	cfg.TaxiCfg.Ticks = 100
+	cfg.Adaptive.MaxIters = 2
+	rs, err := Fig4Taxi(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(Fig4Specs()) {
+		t.Errorf("results = %d, want %d", len(rs), len(Fig4Specs()))
+	}
+}

@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/synth"
+	"patterndp/internal/taxi"
+)
+
+// Fig4Epsilons is the default budget sweep for the Fig. 4 reproductions.
+func Fig4Epsilons() []dp.Epsilon {
+	return []dp.Epsilon{0.1, 0.2, 0.5, 1, 2, 5, 10}
+}
+
+// Fig4Config bundles the knobs of the two Fig. 4 reproductions. Zero fields
+// take defaults from DefaultFig4Config.
+type Fig4Config struct {
+	// Epsilons sweeps the pattern-level budget.
+	Epsilons []dp.Epsilon
+	// Reps is the number of noise draws per cell.
+	Reps int
+	// Seed drives everything.
+	Seed int64
+	// SynthDatasets is how many independent synthetic datasets to average
+	// (the paper uses 1000; scale to taste).
+	SynthDatasets int
+	// SynthCfg configures each synthetic dataset. A zero value (NumTypes
+	// == 0) uses synth.DefaultConfig; the Seed field is always overridden
+	// per dataset.
+	SynthCfg synth.Config
+	// TaxiCfg configures the taxi simulation.
+	TaxiCfg taxi.Config
+	// TaxiWindowTicks is the tumbling-window width in sampling periods.
+	TaxiWindowTicks int
+	// WEventW is the baselines' w parameter in windows.
+	WEventW int
+	// Alpha weighs precision vs recall (paper: 0.5).
+	Alpha float64
+	// Adaptive configures the adaptive PPM.
+	Adaptive core.AdaptiveConfig
+}
+
+// DefaultFig4Config returns a laptop-scale configuration that preserves the
+// paper's parameters where feasible (α = 0.5, area fractions, Algorithm 2
+// constants) and scales down the repetition counts.
+func DefaultFig4Config(seed int64) Fig4Config {
+	return Fig4Config{
+		Epsilons:        Fig4Epsilons(),
+		Reps:            5,
+		Seed:            seed,
+		SynthDatasets:   5,
+		TaxiCfg:         taxi.DefaultConfig(seed),
+		TaxiWindowTicks: 5,
+		WEventW:         10,
+		Alpha:           0.5,
+		Adaptive:        core.AdaptiveConfig{MaxIters: 40, Seed: seed},
+	}
+}
+
+// Fig4Taxi runs the Taxi half of Fig. 4 and returns one result per
+// (mechanism, ε).
+func Fig4Taxi(cfg Fig4Config) ([]Result, error) {
+	b, err := TaxiBench(cfg.TaxiCfg, cfg.TaxiWindowTicks, cfg.WEventW, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	return RunSweep(b, SweepConfig{
+		Epsilons: cfg.Epsilons,
+		Specs:    Fig4Specs(),
+		Reps:     cfg.Reps,
+		Seed:     cfg.Seed,
+		Adaptive: cfg.Adaptive,
+	})
+}
+
+// Fig4Synthetic runs the synthetic half of Fig. 4, averaging over
+// cfg.SynthDatasets independently generated datasets (Algorithm 2 repeated,
+// as in the paper).
+func Fig4Synthetic(cfg Fig4Config) ([]Result, error) {
+	if cfg.SynthDatasets <= 0 {
+		return nil, fmt.Errorf("experiment: SynthDatasets = %d", cfg.SynthDatasets)
+	}
+	var groups [][]Result
+	for d := 0; d < cfg.SynthDatasets; d++ {
+		scfg := cfg.SynthCfg
+		if scfg.NumTypes == 0 {
+			scfg = synth.DefaultConfig(0)
+		}
+		scfg.Seed = cfg.Seed + int64(d)*7919
+		b, err := SynthBench(scfg, cfg.WEventW, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := RunSweep(b, SweepConfig{
+			Epsilons: cfg.Epsilons,
+			Specs:    Fig4Specs(),
+			Reps:     cfg.Reps,
+			Seed:     cfg.Seed + int64(d),
+			Adaptive: cfg.Adaptive,
+		})
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, rs)
+	}
+	return MergeResults(groups...), nil
+}
+
+// WriteTable renders results as an aligned MRE table: one row per ε, one
+// column per mechanism — the series of Fig. 4.
+func WriteTable(w io.Writer, title string, results []Result) {
+	if len(results) == 0 {
+		fmt.Fprintf(w, "%s: no results\n", title)
+		return
+	}
+	// Collect axes.
+	epsSet := map[dp.Epsilon]bool{}
+	mechSet := map[MechanismSpec]bool{}
+	cell := map[string]Result{}
+	for _, r := range results {
+		epsSet[r.Epsilon] = true
+		mechSet[r.Mechanism] = true
+		cell[cellKey(r.Mechanism, r.Epsilon)] = r
+	}
+	var epss []dp.Epsilon
+	for e := range epsSet {
+		epss = append(epss, e)
+	}
+	sort.Slice(epss, func(i, j int) bool { return epss[i] < epss[j] })
+	var mechs []MechanismSpec
+	for m := range mechSet {
+		mechs = append(mechs, m)
+	}
+	sort.Slice(mechs, func(i, j int) bool { return mechOrder(mechs[i]) < mechOrder(mechs[j]) })
+
+	// Column width adapts to the longest mechanism name.
+	width := 12
+	for _, m := range mechs {
+		if len(m)+2 > width {
+			width = len(m) + 2
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-8s", "eps")
+	for _, m := range mechs {
+		fmt.Fprintf(w, "%*s", width, m)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 8+width*len(mechs)))
+	for _, e := range epss {
+		fmt.Fprintf(w, "%-8.2f", float64(e))
+		for _, m := range mechs {
+			r, ok := cell[cellKey(m, e)]
+			if !ok {
+				fmt.Fprintf(w, "%*s", width, "-")
+				continue
+			}
+			fmt.Fprintf(w, "%*.4f", width, r.MRE.Mean)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func cellKey(m MechanismSpec, e dp.Epsilon) string {
+	return fmt.Sprintf("%s@%.9f", m, float64(e))
+}
+
+// mechOrder fixes the column order to the paper's listing.
+func mechOrder(m MechanismSpec) int {
+	switch m {
+	case SpecUniform:
+		return 0
+	case SpecAdaptive:
+		return 1
+	case SpecBD:
+		return 2
+	case SpecBA:
+		return 3
+	case SpecLandmark:
+		return 4
+	case SpecCount:
+		return 5
+	case SpecWEventUniform:
+		return 6
+	case SpecWEventSample:
+		return 7
+	case SpecIdentity:
+		return 8
+	default:
+		return 9
+	}
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/metrics"
+)
+
+// This file solves the paper's dual objective (Section III-B): besides
+// maximizing quality at a fixed budget (the Fig. 4 sweeps), a deployment can
+// fix a data-quality requirement and ask for the strongest privacy (smallest
+// ε) that still meets it. MinBudgetForQuality answers that by bisection over
+// ε, exploiting that released quality is monotone in the budget (in
+// expectation).
+
+// FrontierPoint is one solved requirement.
+type FrontierPoint struct {
+	// TargetQ is the quality requirement.
+	TargetQ float64
+	// Epsilon is the smallest budget found meeting it.
+	Epsilon dp.Epsilon
+	// AchievedQ is the measured quality at that budget.
+	AchievedQ float64
+	// Feasible is false when even MaxEpsilon misses the requirement.
+	Feasible bool
+}
+
+// FrontierConfig parameterizes the search.
+type FrontierConfig struct {
+	// MaxEpsilon bounds the search from above (default 50).
+	MaxEpsilon dp.Epsilon
+	// Tolerance is the bisection width at which the search stops
+	// (default 0.01).
+	Tolerance float64
+	// Reps is the number of noise draws averaged per evaluation
+	// (default 5).
+	Reps int
+	// Seed drives the evaluations.
+	Seed int64
+	// Adaptive configures adaptive fits when the spec is adaptive.
+	Adaptive core.AdaptiveConfig
+}
+
+func (c FrontierConfig) withDefaults() FrontierConfig {
+	if c.MaxEpsilon == 0 {
+		c.MaxEpsilon = 50
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.01
+	}
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	return c
+}
+
+// MinBudgetForQuality finds, by bisection, the smallest pattern-level budget
+// at which the mechanism's mean released quality meets targetQ on the bench.
+func MinBudgetForQuality(b *Bench, spec MechanismSpec, targetQ float64, cfg FrontierConfig) (FrontierPoint, error) {
+	if err := b.Validate(); err != nil {
+		return FrontierPoint{}, err
+	}
+	if targetQ <= 0 || targetQ > 1 {
+		return FrontierPoint{}, fmt.Errorf("experiment: target quality %v outside (0, 1]", targetQ)
+	}
+	cfg = cfg.withDefaults()
+
+	evalAt := func(eps dp.Epsilon) (float64, error) {
+		mech, err := b.BuildMechanism(spec, eps, cfg.Adaptive)
+		if err != nil {
+			return 0, err
+		}
+		var qs []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			rng := rand.New(rand.NewSource(repSeed(cfg.Seed, string(spec), float64(eps), rep)))
+			released := mech.Run(rng, b.Eval)
+			q, _ := core.MeasuredQuality(b.Eval, released, b.Targets, b.Alpha)
+			qs = append(qs, q)
+		}
+		return metrics.Mean(qs), nil
+	}
+
+	hi := cfg.MaxEpsilon
+	qHi, err := evalAt(hi)
+	if err != nil {
+		return FrontierPoint{}, err
+	}
+	if qHi < targetQ {
+		return FrontierPoint{TargetQ: targetQ, Epsilon: hi, AchievedQ: qHi, Feasible: false}, nil
+	}
+	lo := dp.Epsilon(0)
+	qAt := qHi
+	for float64(hi-lo) > cfg.Tolerance {
+		mid := (lo + hi) / 2
+		qMid, err := evalAt(mid)
+		if err != nil {
+			return FrontierPoint{}, err
+		}
+		if qMid >= targetQ {
+			hi = mid
+			qAt = qMid
+		} else {
+			lo = mid
+		}
+	}
+	return FrontierPoint{TargetQ: targetQ, Epsilon: hi, AchievedQ: qAt, Feasible: true}, nil
+}
+
+// Frontier solves a list of quality requirements for one mechanism.
+func Frontier(b *Bench, spec MechanismSpec, targets []float64, cfg FrontierConfig) ([]FrontierPoint, error) {
+	out := make([]FrontierPoint, 0, len(targets))
+	for _, q := range targets {
+		p, err := MinBudgetForQuality(b, spec, q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WriteFrontier renders frontier points as a table.
+func WriteFrontier(w io.Writer, title string, spec MechanismSpec, points []FrontierPoint) {
+	fmt.Fprintf(w, "%s (mechanism: %s)\n", title, spec)
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-8s\n", "targetQ", "min eps", "achievedQ", "feasible")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-10.3f %-12.4f %-12.4f %-8t\n",
+			p.TargetQ, float64(p.Epsilon), p.AchievedQ, p.Feasible)
+	}
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMinBudgetForQualityFindsBudget(t *testing.T) {
+	b := smallSynthBench(t, 20)
+	p, err := MinBudgetForQuality(b, SpecUniform, 0.8, FrontierConfig{Reps: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible {
+		t.Fatal("0.8 should be feasible at some budget")
+	}
+	if p.AchievedQ < 0.8 {
+		t.Errorf("achieved %v below target", p.AchievedQ)
+	}
+	if p.Epsilon <= 0 || p.Epsilon > 50 {
+		t.Errorf("epsilon = %v out of range", p.Epsilon)
+	}
+}
+
+func TestMinBudgetMonotoneInTarget(t *testing.T) {
+	b := smallSynthBench(t, 21)
+	cfg := FrontierConfig{Reps: 2, Seed: 2}
+	lo, err := MinBudgetForQuality(b, SpecUniform, 0.7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MinBudgetForQuality(b, SpecUniform, 0.95, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Feasible && hi.Feasible && hi.Epsilon < lo.Epsilon {
+		t.Errorf("stricter quality needs less budget: eps(0.7)=%v eps(0.95)=%v",
+			lo.Epsilon, hi.Epsilon)
+	}
+}
+
+func TestMinBudgetInfeasible(t *testing.T) {
+	b := smallSynthBench(t, 22)
+	// Cap the budget so low nothing useful is achievable.
+	p, err := MinBudgetForQuality(b, SpecUniform, 0.999, FrontierConfig{
+		MaxEpsilon: 0.01, Reps: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Feasible {
+		t.Errorf("0.999 at eps<=0.01 reported feasible (achieved %v)", p.AchievedQ)
+	}
+}
+
+func TestMinBudgetValidation(t *testing.T) {
+	b := smallSynthBench(t, 23)
+	if _, err := MinBudgetForQuality(b, SpecUniform, 0, FrontierConfig{}); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := MinBudgetForQuality(b, SpecUniform, 1.5, FrontierConfig{}); err == nil {
+		t.Error("target > 1 accepted")
+	}
+	if _, err := MinBudgetForQuality(b, "bogus", 0.5, FrontierConfig{Reps: 1}); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}
+
+func TestFrontierAndWriter(t *testing.T) {
+	b := smallSynthBench(t, 24)
+	points, err := Frontier(b, SpecUniform, []float64{0.7, 0.9}, FrontierConfig{Reps: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	var sb strings.Builder
+	WriteFrontier(&sb, "frontier", SpecUniform, points)
+	out := sb.String()
+	if !strings.Contains(out, "uniform") || !strings.Contains(out, "0.700") {
+		t.Errorf("frontier table:\n%s", out)
+	}
+}

@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/metrics"
+)
+
+// Result is one measured cell of an experiment: a mechanism at a budget on a
+// bench, summarized over repetitions.
+type Result struct {
+	// Bench names the dataset context.
+	Bench string
+	// Mechanism names the mechanism spec.
+	Mechanism MechanismSpec
+	// Epsilon is the pattern-level budget.
+	Epsilon dp.Epsilon
+	// MRE summarizes the quality loss (Equation 4) across repetitions.
+	MRE metrics.Summary
+	// Quality summarizes the released data quality Q across repetitions.
+	Quality metrics.Summary
+}
+
+// SweepConfig parameterizes RunSweep.
+type SweepConfig struct {
+	// Epsilons is the budget sweep (Fig. 4's x axis).
+	Epsilons []dp.Epsilon
+	// Specs are the mechanisms to compare.
+	Specs []MechanismSpec
+	// Reps is the number of repetitions per cell (different noise draws).
+	Reps int
+	// Seed derives all per-repetition seeds.
+	Seed int64
+	// Adaptive configures the adaptive PPM fits (Epsilon/Alpha overridden).
+	Adaptive core.AdaptiveConfig
+}
+
+// Validate reports configuration errors.
+func (c SweepConfig) Validate() error {
+	if len(c.Epsilons) == 0 {
+		return fmt.Errorf("experiment: no epsilons")
+	}
+	for _, e := range c.Epsilons {
+		if !e.Valid() {
+			return fmt.Errorf("experiment: invalid epsilon %v", e)
+		}
+	}
+	if len(c.Specs) == 0 {
+		return fmt.Errorf("experiment: no mechanism specs")
+	}
+	if c.Reps <= 0 {
+		return fmt.Errorf("experiment: reps = %d", c.Reps)
+	}
+	return nil
+}
+
+// RunSweep measures every (mechanism, ε) cell on the bench: for each
+// repetition the mechanism releases the evaluation windows, quality is
+// measured against ground truth, and MRE is computed against the
+// no-PPM quality Qord (which is 1 by construction for binary detection from
+// true indicators, but is measured rather than assumed).
+func RunSweep(b *Bench, cfg SweepConfig) ([]Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Reference quality without any PPM.
+	identity := core.Identity{}
+	refRelease := identity.Run(nil, b.Eval)
+	qOrd, _ := core.MeasuredQuality(b.Eval, refRelease, b.Targets, b.Alpha)
+	if qOrd <= 0 {
+		return nil, fmt.Errorf("experiment: ordinary quality %v is not positive", qOrd)
+	}
+
+	var results []Result
+	for _, spec := range cfg.Specs {
+		for _, eps := range cfg.Epsilons {
+			mech, err := b.BuildMechanism(spec, eps, cfg.Adaptive)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: building %s at eps=%v: %w", spec, eps, err)
+			}
+			var mres, quals []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := rand.New(rand.NewSource(repSeed(cfg.Seed, string(spec), float64(eps), rep)))
+				released := mech.Run(rng, b.Eval)
+				q, _ := core.MeasuredQuality(b.Eval, released, b.Targets, b.Alpha)
+				mre, err := metrics.MRE(qOrd, q)
+				if err != nil {
+					return nil, err
+				}
+				mres = append(mres, mre)
+				quals = append(quals, q)
+			}
+			results = append(results, Result{
+				Bench:     b.Name,
+				Mechanism: spec,
+				Epsilon:   eps,
+				MRE:       metrics.Summarize(mres),
+				Quality:   metrics.Summarize(quals),
+			})
+		}
+	}
+	return results, nil
+}
+
+// repSeed derives a deterministic per-cell seed.
+func repSeed(base int64, spec string, eps float64, rep int) int64 {
+	h := base
+	for _, c := range spec {
+		h = h*131 + int64(c)
+	}
+	h = h*131 + int64(eps*1e6)
+	h = h*131 + int64(rep)
+	return h
+}
+
+// MergeResults averages results from repeated benches (e.g. many synthetic
+// datasets): cells with the same (mechanism, ε) are pooled by their means.
+// The Bench label of the first occurrence is kept.
+func MergeResults(groups ...[]Result) []Result {
+	type key struct {
+		spec MechanismSpec
+		eps  dp.Epsilon
+	}
+	order := []key{}
+	pool := map[key][]Result{}
+	for _, rs := range groups {
+		for _, r := range rs {
+			k := key{r.Mechanism, r.Epsilon}
+			if _, ok := pool[k]; !ok {
+				order = append(order, k)
+			}
+			pool[k] = append(pool[k], r)
+		}
+	}
+	out := make([]Result, 0, len(order))
+	for _, k := range order {
+		rs := pool[k]
+		mres := make([]float64, len(rs))
+		quals := make([]float64, len(rs))
+		for i, r := range rs {
+			mres[i] = r.MRE.Mean
+			quals[i] = r.Quality.Mean
+		}
+		out = append(out, Result{
+			Bench:     rs[0].Bench,
+			Mechanism: k.spec,
+			Epsilon:   k.eps,
+			MRE:       metrics.Summarize(mres),
+			Quality:   metrics.Summarize(quals),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Mechanism != out[j].Mechanism {
+			return out[i].Mechanism < out[j].Mechanism
+		}
+		return out[i].Epsilon < out[j].Epsilon
+	})
+	return out
+}

@@ -1,0 +1,155 @@
+// Package metrics implements the data-quality measures of Section III-B:
+// precision, recall, the combined quality metric Q = α·Prec + (1−α)·Rec, and
+// the Mean Relative Error (MRE) between the quality without and with a PPM.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion accumulates binary-detection outcomes against ground truth.
+type Confusion struct {
+	// TP counts windows where the pattern was present and reported.
+	TP int
+	// FP counts windows where the pattern was absent but reported.
+	FP int
+	// FN counts windows where the pattern was present but not reported.
+	FN int
+	// TN counts windows where the pattern was absent and not reported.
+	TN int
+}
+
+// Add records one outcome.
+func (c *Confusion) Add(truth, reported bool) {
+	switch {
+	case truth && reported:
+		c.TP++
+	case !truth && reported:
+		c.FP++
+	case truth && !reported:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Merge accumulates another confusion matrix into c.
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+	c.TN += o.TN
+}
+
+// Total returns the number of recorded outcomes.
+func (c Confusion) Total() int { return c.TP + c.FP + c.FN + c.TN }
+
+// Precision returns TP/(TP+FP) per Equation (2). With no positive reports it
+// returns 1 if there were also no positives to find, else 0 — the convention
+// that an empty answer to an empty question is perfect.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		if c.FN == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN) per Equation (1), with the same empty-case
+// convention as Precision.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		if c.FP == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Q returns the combined quality α·Prec + (1−α)·Rec per Equation (3).
+// alpha must lie in [0, 1].
+func (c Confusion) Q(alpha float64) float64 {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("metrics: alpha %v outside [0,1]", alpha))
+	}
+	return alpha*c.Precision() + (1-alpha)*c.Recall()
+}
+
+// String renders the four counts.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d TN=%d", c.TP, c.FP, c.FN, c.TN)
+}
+
+// MRE computes (Qord − Qppm) / Qord per Equation (4): the relative loss of
+// data quality caused by the PPM. Qord must be positive. Negative results
+// (the PPM accidentally improving quality) are reported as-is.
+func MRE(qOrd, qPPM float64) (float64, error) {
+	if qOrd <= 0 || math.IsNaN(qOrd) {
+		return 0, fmt.Errorf("metrics: ordinary quality %v must be positive", qOrd)
+	}
+	if math.IsNaN(qPPM) {
+		return 0, fmt.Errorf("metrics: PPM quality is NaN")
+	}
+	return (qOrd - qPPM) / qOrd, nil
+}
+
+// Mean returns the arithmetic mean of xs; it returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Summary aggregates repeated measurements of one quantity.
+type Summary struct {
+	// N is the number of measurements.
+	N int
+	// Mean is their arithmetic mean.
+	Mean float64
+	// StdDev is their sample standard deviation.
+	StdDev float64
+	// Min and Max bound the measurements.
+	Min, Max float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for empty
+// input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionAdd(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Errorf("confusion = %v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestConfusionMerge(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}
+	b := Confusion{TP: 10, FP: 20, FN: 30, TN: 40}
+	a.Merge(b)
+	if a.TP != 11 || a.FP != 22 || a.FN != 33 || a.TN != 44 {
+		t.Errorf("merged = %v", a)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 2, TN: 88}
+	if p := c.Precision(); math.Abs(p-0.8) > 1e-12 {
+		t.Errorf("Precision = %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-0.8) > 1e-12 {
+		t.Errorf("Recall = %v", r)
+	}
+}
+
+func TestPrecisionRecallEmptyCases(t *testing.T) {
+	// No reports, no positives: perfect.
+	c := Confusion{TN: 5}
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Error("all-negative stream should be perfect")
+	}
+	// No reports, but positives existed: precision 0 by convention, recall 0.
+	c = Confusion{FN: 3}
+	if c.Precision() != 0 {
+		t.Errorf("Precision = %v, want 0", c.Precision())
+	}
+	if c.Recall() != 0 {
+		t.Errorf("Recall = %v, want 0", c.Recall())
+	}
+	// Reports but no true positives existed.
+	c = Confusion{FP: 3}
+	if c.Precision() != 0 {
+		t.Errorf("Precision = %v, want 0", c.Precision())
+	}
+	if c.Recall() != 0 {
+		t.Errorf("Recall with only FP = %v, want 0", c.Recall())
+	}
+}
+
+func TestQWeighting(t *testing.T) {
+	c := Confusion{TP: 1, FP: 1, FN: 0} // Prec 0.5, Rec 1
+	if q := c.Q(0.5); math.Abs(q-0.75) > 1e-12 {
+		t.Errorf("Q(0.5) = %v", q)
+	}
+	if q := c.Q(1); math.Abs(q-0.5) > 1e-12 {
+		t.Errorf("Q(1) = %v, want precision", q)
+	}
+	if q := c.Q(0); math.Abs(q-1) > 1e-12 {
+		t.Errorf("Q(0) = %v, want recall", q)
+	}
+}
+
+func TestQPanicsOnBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v did not panic", alpha)
+				}
+			}()
+			Confusion{}.Q(alpha)
+		}()
+	}
+}
+
+func TestQBoundsProperty(t *testing.T) {
+	// Property: Q is always within [min(P,R), max(P,R)] for alpha in [0,1].
+	f := func(tp, fp, fn, tn uint8, rawAlpha uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn), TN: int(tn)}
+		alpha := float64(rawAlpha%101) / 100
+		q := c.Q(alpha)
+		lo, hi := c.Precision(), c.Recall()
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return q >= lo-1e-12 && q <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMRE(t *testing.T) {
+	got, err := MRE(0.8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("MRE = %v, want 0.25", got)
+	}
+	// Perfect PPM: zero error.
+	if got, _ := MRE(0.8, 0.8); got != 0 {
+		t.Errorf("MRE equal = %v", got)
+	}
+	// PPM better than baseline: negative, allowed.
+	if got, _ := MRE(0.5, 0.6); got >= 0 {
+		t.Errorf("MRE improvement = %v, want negative", got)
+	}
+	if _, err := MRE(0, 0.5); err == nil {
+		t.Error("qOrd=0 accepted")
+	}
+	if _, err := MRE(0.5, math.NaN()); err == nil {
+		t.Error("NaN qPPM accepted")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 3, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || math.Abs(s.Mean-2) > 1e-12 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty Summary = %+v", z)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	s := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}.String()
+	if !strings.Contains(s, "TP=1") || !strings.Contains(s, "TN=4") {
+		t.Errorf("String = %q", s)
+	}
+}

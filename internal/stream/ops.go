@@ -1,0 +1,127 @@
+package stream
+
+// Additional pipeline operators used by tools and examples: batching,
+// deduplication, sampling, and buffering. All follow the package's
+// conventions: output closes when input ends, done cancels promptly.
+
+// Batch groups consecutive elements into slices of size n (the final batch
+// may be shorter). n must be positive.
+func Batch[T any](done <-chan struct{}, s Stream[T], n int) Stream[[]T] {
+	if n <= 0 {
+		panic("stream: batch size must be positive")
+	}
+	out := make(chan []T)
+	go func() {
+		defer close(out)
+		buf := make([]T, 0, n)
+		flush := func() bool {
+			if len(buf) == 0 {
+				return true
+			}
+			cp := make([]T, len(buf))
+			copy(cp, buf)
+			buf = buf[:0]
+			select {
+			case out <- cp:
+				return true
+			case <-done:
+				return false
+			}
+		}
+		for v := range s {
+			buf = append(buf, v)
+			if len(buf) == n {
+				if !flush() {
+					return
+				}
+			}
+		}
+		flush()
+	}()
+	return out
+}
+
+// Distinct forwards only elements whose key has not been seen before.
+// Memory grows with the number of distinct keys.
+func Distinct[T any, K comparable](done <-chan struct{}, s Stream[T], key func(T) K) Stream[T] {
+	out := make(chan T)
+	go func() {
+		defer close(out)
+		seen := make(map[K]bool)
+		for v := range s {
+			k := key(v)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			select {
+			case out <- v:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Sample forwards every n-th element (the 1st, (n+1)-th, …). n must be
+// positive; n = 1 forwards everything.
+func Sample[T any](done <-chan struct{}, s Stream[T], n int) Stream[T] {
+	if n <= 0 {
+		panic("stream: sample stride must be positive")
+	}
+	out := make(chan T)
+	go func() {
+		defer close(out)
+		i := 0
+		for v := range s {
+			if i%n == 0 {
+				select {
+				case out <- v:
+				case <-done:
+					return
+				}
+			}
+			i++
+		}
+	}()
+	return out
+}
+
+// Buffer decouples producer and consumer with a buffered channel of the
+// given capacity, smoothing bursts without changing contents or order.
+func Buffer[T any](done <-chan struct{}, s Stream[T], capacity int) Stream[T] {
+	if capacity < 0 {
+		panic("stream: negative buffer capacity")
+	}
+	out := make(chan T, capacity)
+	go func() {
+		defer close(out)
+		for v := range s {
+			select {
+			case out <- v:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Reduce folds the stream into a single value.
+func Reduce[T, A any](s Stream[T], init A, f func(A, T) A) A {
+	acc := init
+	for v := range s {
+		acc = f(acc, v)
+	}
+	return acc
+}
+
+// Count drains the stream and returns the number of elements.
+func Count[T any](s Stream[T]) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestBatch(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	got := Collect(Batch(done, FromSlice([]int{1, 2, 3, 4, 5}), 2))
+	if len(got) != 3 {
+		t.Fatalf("batches = %d", len(got))
+	}
+	if len(got[0]) != 2 || len(got[2]) != 1 {
+		t.Errorf("batch sizes = %d, %d, %d", len(got[0]), len(got[1]), len(got[2]))
+	}
+	if got[0][0] != 1 || got[2][0] != 5 {
+		t.Errorf("batch contents wrong: %v", got)
+	}
+}
+
+func TestBatchExactMultiple(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	got := Collect(Batch(done, FromSlice([]int{1, 2, 3, 4}), 2))
+	if len(got) != 2 {
+		t.Errorf("batches = %d, want 2 (no trailing empty batch)", len(got))
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	if got := Collect(Batch(done, FromSlice[int](nil), 3)); got != nil {
+		t.Errorf("empty batch output = %v", got)
+	}
+}
+
+func TestBatchPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	done := make(chan struct{})
+	defer close(done)
+	Batch(done, FromSlice[int](nil), 0)
+}
+
+func TestBatchCopiesBuffer(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	batches := Collect(Batch(done, FromSlice([]int{1, 2, 3, 4}), 2))
+	batches[0][0] = 99
+	if batches[1][0] == 99 {
+		t.Error("batches alias each other")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	got := Collect(Distinct(done, FromSlice([]int{1, 2, 1, 3, 2, 1}), func(v int) int { return v }))
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("distinct = %v", got)
+	}
+}
+
+func TestDistinctByKey(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	type pair struct{ k, v int }
+	in := []pair{{1, 10}, {1, 20}, {2, 30}}
+	got := Collect(Distinct(done, FromSlice(in), func(p pair) int { return p.k }))
+	if len(got) != 2 || got[0].v != 10 || got[1].v != 30 {
+		t.Errorf("distinct by key = %v", got)
+	}
+}
+
+func TestSample(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	got := Collect(Sample(done, FromSlice([]int{0, 1, 2, 3, 4, 5, 6}), 3))
+	want := []int{0, 3, 6}
+	if len(got) != 3 {
+		t.Fatalf("sampled = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sampled = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSampleStrideOne(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	got := Collect(Sample(done, FromSlice([]int{1, 2, 3}), 1))
+	if len(got) != 3 {
+		t.Errorf("stride 1 = %v", got)
+	}
+}
+
+func TestSamplePanicsOnBadStride(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	done := make(chan struct{})
+	defer close(done)
+	Sample(done, FromSlice[int](nil), 0)
+}
+
+func TestBuffer(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	got := Collect(Buffer(done, FromSlice([]int{1, 2, 3}), 10))
+	if len(got) != 3 || got[2] != 3 {
+		t.Errorf("buffered = %v", got)
+	}
+}
+
+func TestBufferPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	done := make(chan struct{})
+	defer close(done)
+	Buffer(done, FromSlice[int](nil), -1)
+}
+
+func TestReduce(t *testing.T) {
+	sum := Reduce(FromSlice([]int{1, 2, 3, 4}), 0, func(a, v int) int { return a + v })
+	if sum != 10 {
+		t.Errorf("sum = %d", sum)
+	}
+	concat := Reduce(FromSlice([]string{"a", "b"}), "", func(a, v string) string { return a + v })
+	if concat != "ab" {
+		t.Errorf("concat = %q", concat)
+	}
+}
+
+func TestCount(t *testing.T) {
+	if n := Count(FromSlice([]int{1, 2, 3})); n != 3 {
+		t.Errorf("count = %d", n)
+	}
+	if n := Count(FromSlice[int](nil)); n != 0 {
+		t.Errorf("empty count = %d", n)
+	}
+}

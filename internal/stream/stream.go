@@ -1,0 +1,158 @@
+// Package stream provides the channel-based stream substrate underneath the
+// CEP engine: typed sources and sinks, functional transforms (map, filter),
+// deterministic merging of multiple event streams, windowing, fan-out, and
+// replayable buffers.
+//
+// The paper models a data stream SD as an infinite tuple and an event stream
+// SE as the temporally ordered extraction of interesting tuples. Here both
+// are Go channels; pipelines are built by chaining package functions. All
+// operators propagate completion by closing their output channels and honor
+// cancellation via a done channel.
+package stream
+
+// Stream is a read-only channel of values.
+type Stream[T any] <-chan T
+
+// FromSlice emits the elements of s in order, then closes the stream.
+func FromSlice[T any](s []T) Stream[T] {
+	out := make(chan T, len(s))
+	for _, v := range s {
+		out <- v
+	}
+	close(out)
+	return out
+}
+
+// FromFunc calls next repeatedly until it reports ok=false, emitting each
+// value. Emission stops early if done is closed.
+func FromFunc[T any](done <-chan struct{}, next func() (T, bool)) Stream[T] {
+	out := make(chan T)
+	go func() {
+		defer close(out)
+		for {
+			v, ok := next()
+			if !ok {
+				return
+			}
+			select {
+			case out <- v:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Collect drains the stream into a slice.
+func Collect[T any](s Stream[T]) []T {
+	var out []T
+	for v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// CollectN drains at most n values from the stream.
+func CollectN[T any](s Stream[T], n int) []T {
+	out := make([]T, 0, n)
+	for v := range s {
+		out = append(out, v)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// Map applies f to every element.
+func Map[T, U any](done <-chan struct{}, s Stream[T], f func(T) U) Stream[U] {
+	out := make(chan U)
+	go func() {
+		defer close(out)
+		for v := range s {
+			select {
+			case out <- f(v):
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Filter forwards elements for which keep returns true.
+func Filter[T any](done <-chan struct{}, s Stream[T], keep func(T) bool) Stream[T] {
+	out := make(chan T)
+	go func() {
+		defer close(out)
+		for v := range s {
+			if !keep(v) {
+				continue
+			}
+			select {
+			case out <- v:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Take forwards at most n elements and then closes the output, draining
+// nothing further from the input.
+func Take[T any](done <-chan struct{}, s Stream[T], n int) Stream[T] {
+	out := make(chan T)
+	go func() {
+		defer close(out)
+		count := 0
+		for v := range s {
+			if count >= n {
+				return
+			}
+			select {
+			case out <- v:
+				count++
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// FanOut duplicates every element of s to n output streams. Each output must
+// be consumed; a slow consumer blocks the others (lockstep fan-out keeps
+// memory bounded and ordering identical on every branch).
+func FanOut[T any](done <-chan struct{}, s Stream[T], n int) []Stream[T] {
+	chans := make([]chan T, n)
+	outs := make([]Stream[T], n)
+	for i := range chans {
+		chans[i] = make(chan T)
+		outs[i] = chans[i]
+	}
+	go func() {
+		defer func() {
+			for _, c := range chans {
+				close(c)
+			}
+		}()
+		for v := range s {
+			for _, c := range chans {
+				select {
+				case c <- v:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	return outs
+}
+
+// Tee is FanOut with n=2, returned as a pair for convenience.
+func Tee[T any](done <-chan struct{}, s Stream[T]) (Stream[T], Stream[T]) {
+	outs := FanOut(done, s, 2)
+	return outs[0], outs[1]
+}

@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"patterndp/internal/event"
+)
+
+// Window is a finite batch of events cut from an event stream. Windows carry
+// the half-open logical-time interval [Start, End) they cover.
+type Window struct {
+	// Start is the inclusive start of the covered interval.
+	Start event.Timestamp
+	// End is the exclusive end of the covered interval.
+	End event.Timestamp
+	// Events are the window contents in canonical stream order.
+	Events []event.Event
+}
+
+// Contains reports whether the window holds at least one event of type t.
+// This is the per-window existence indicator I(e) used by the PPMs.
+func (w Window) Contains(t event.Type) bool {
+	for _, e := range w.Events {
+		if e.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of events of type t inside the window. w-event
+// baselines publish noisy versions of these counts.
+func (w Window) Count(t event.Type) int {
+	n := 0
+	for _, e := range w.Events {
+		if e.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// Types returns the set of distinct event types present in the window.
+func (w Window) Types() map[event.Type]bool {
+	set := make(map[event.Type]bool)
+	for _, e := range w.Events {
+		set[e.Type] = true
+	}
+	return set
+}
+
+// Tumbling cuts the event stream into consecutive non-overlapping windows of
+// the given logical-time width. Events are assigned to the window whose
+// interval contains their timestamp. Windows are emitted as soon as an event
+// beyond their interval arrives (the input must be time-ordered); a trailing
+// partial window is emitted at end of stream.
+func Tumbling(done <-chan struct{}, in Stream[event.Event], width event.Timestamp) Stream[Window] {
+	if width <= 0 {
+		panic("stream: tumbling window width must be positive")
+	}
+	out := make(chan Window)
+	go func() {
+		defer close(out)
+		var cur *Window
+		emit := func(w Window) bool {
+			select {
+			case out <- w:
+				return true
+			case <-done:
+				return false
+			}
+		}
+		for e := range in {
+			start := (e.Time / width) * width
+			if e.Time < 0 && e.Time%width != 0 {
+				start -= width
+			}
+			if cur == nil {
+				cur = &Window{Start: start, End: start + width}
+			}
+			for e.Time >= cur.End {
+				if !emit(*cur) {
+					return
+				}
+				cur = &Window{Start: cur.End, End: cur.End + width}
+			}
+			cur.Events = append(cur.Events, e)
+		}
+		if cur != nil {
+			emit(*cur)
+		}
+	}()
+	return out
+}
+
+// Sliding cuts the stream into overlapping windows of the given width that
+// advance by the given step. width must be a positive multiple of step: each
+// event then belongs to exactly width/step windows.
+func Sliding(done <-chan struct{}, in Stream[event.Event], width, step event.Timestamp) Stream[Window] {
+	if step <= 0 || width <= 0 || width%step != 0 {
+		panic("stream: sliding windows require width > 0, step > 0, width % step == 0")
+	}
+	out := make(chan Window)
+	go func() {
+		defer close(out)
+		var open []*Window // windows awaiting completion, ordered by Start
+		emit := func(w Window) bool {
+			select {
+			case out <- w:
+				return true
+			case <-done:
+				return false
+			}
+		}
+		var nextStart event.Timestamp
+		started := false
+		for e := range in {
+			if !started {
+				nextStart = (e.Time / step) * step
+				if e.Time < 0 && e.Time%step != 0 {
+					nextStart -= step
+				}
+				// The earliest window containing e starts at
+				// e.Time - width + step, aligned down to step.
+				earliest := e.Time - width + step
+				aligned := (earliest / step) * step
+				if earliest < 0 && earliest%step != 0 {
+					aligned -= step
+				}
+				nextStart = aligned
+				started = true
+			}
+			// Open all windows whose interval has begun.
+			for nextStart <= e.Time {
+				open = append(open, &Window{Start: nextStart, End: nextStart + width})
+				nextStart += step
+			}
+			// Close windows that ended before this event.
+			for len(open) > 0 && e.Time >= open[0].End {
+				if !emit(*open[0]) {
+					return
+				}
+				open = open[1:]
+			}
+			for _, w := range open {
+				if e.Time >= w.Start && e.Time < w.End {
+					w.Events = append(w.Events, e)
+				}
+			}
+		}
+		for _, w := range open {
+			if !emit(*w) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// WindowSlice batches a slice of time-ordered events into tumbling windows.
+// It is the batch counterpart of Tumbling for dataset preprocessing, and
+// emits empty windows for gaps so that window indices align with time.
+func WindowSlice(evs []event.Event, width event.Timestamp) []Window {
+	if width <= 0 {
+		panic("stream: window width must be positive")
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	first := (evs[0].Time / width) * width
+	last := evs[len(evs)-1].Time
+	var out []Window
+	cur := Window{Start: first, End: first + width}
+	i := 0
+	for cur.Start <= last {
+		for i < len(evs) && evs[i].Time < cur.End {
+			cur.Events = append(cur.Events, evs[i])
+			i++
+		}
+		out = append(out, cur)
+		cur = Window{Start: cur.End, End: cur.End + width}
+	}
+	return out
+}

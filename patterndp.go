@@ -1,0 +1,163 @@
+// Package patterndp is the public API of the pattern-level differential
+// privacy library — a Go reproduction of "Differential Privacy for
+// Protecting Private Patterns in Data Streams" (Gu et al., ICDE 2023).
+//
+// The library lets data subjects register private pattern types, data
+// consumers register target-pattern queries, and a trusted CEP engine answer
+// those queries over event streams under a pattern-level ε-DP guarantee:
+//
+//	private, _ := patterndp.NewPatternType("hospital-trip", "enter-taxi", "near-hospital")
+//	ppm, _ := patterndp.NewUniformPPM(1.0, private)
+//	engine, _ := patterndp.NewPrivateEngine(ppm, []patterndp.PatternType{private}, seed)
+//	engine.RegisterTarget(patterndp.Query{
+//		Name:    "traffic-jam",
+//		Pattern: patterndp.SeqTypes("near-hospital", "slow-speed"),
+//		Window:  10,
+//	})
+//	answers, _ := engine.ProcessEvents(events, 10)
+//
+// Two mechanisms are provided: NewUniformPPM splits each private pattern's
+// budget evenly across its elements (Section V-A of the paper);
+// NewAdaptivePPM reallocates the split with a stepwise search over
+// historical data to maximize target-query quality (Section V-B,
+// Algorithm 1). The internal/baseline package additionally implements the
+// w-event DP and landmark-privacy mechanisms the paper compares against, and
+// internal/experiment regenerates the paper's evaluation.
+package patterndp
+
+import (
+	"patterndp/internal/cep"
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+// Re-exported core types. These aliases are the supported public surface;
+// the internal packages remain reachable only inside this module.
+type (
+	// Event is one extracted event in an event stream.
+	Event = event.Event
+	// EventType identifies a class of events.
+	EventType = event.Type
+	// Timestamp is a logical stream timestamp.
+	Timestamp = event.Timestamp
+	// Value is a typed event attribute value.
+	Value = event.Value
+	// Pattern is a detected pattern instance (a sequence of events).
+	Pattern = event.Pattern
+	// Window is a finite batch of events cut from a stream.
+	Window = stream.Window
+	// PatternType is a group of patterns specified by a query; data
+	// subjects register their private patterns as pattern types.
+	PatternType = core.PatternType
+	// Mechanism perturbs per-window existence indicators; every PPM and
+	// baseline implements it.
+	Mechanism = core.Mechanism
+	// UniformPPM is the uniform pattern-level PPM.
+	UniformPPM = core.UniformPPM
+	// AdaptivePPM is the adaptive pattern-level PPM (Algorithm 1).
+	AdaptivePPM = core.AdaptivePPM
+	// AdaptiveConfig parameterizes the adaptive PPM.
+	AdaptiveConfig = core.AdaptiveConfig
+	// IndicatorWindow is the per-window view mechanisms operate on.
+	IndicatorWindow = core.IndicatorWindow
+	// PrivateEngine is the trusted CEP engine with privacy protection.
+	PrivateEngine = core.PrivateEngine
+	// Answer is one privacy-protected query answer.
+	Answer = core.Answer
+	// Epsilon is a privacy budget.
+	Epsilon = dp.Epsilon
+	// Query is a registered continuous query.
+	Query = cep.Query
+	// Expr is a pattern expression node (SEQ/AND/OR/NEG over atoms).
+	Expr = cep.Expr
+	// Engine is the plain (non-private) CEP engine.
+	Engine = cep.Engine
+	// Detection is a plain engine query answer.
+	Detection = cep.Detection
+)
+
+// NewEvent constructs an event of the given type at the given logical time.
+func NewEvent(t EventType, ts Timestamp) Event { return event.New(t, ts) }
+
+// Int wraps an int64 attribute value.
+func Int(v int64) Value { return event.Int(v) }
+
+// Float wraps a float64 attribute value.
+func Float(v float64) Value { return event.Float(v) }
+
+// String wraps a string attribute value.
+func String(v string) Value { return event.String(v) }
+
+// Bool wraps a bool attribute value.
+func Bool(v bool) Value { return event.Bool(v) }
+
+// NewPatternType builds a pattern type from its element event types.
+func NewPatternType(name string, elements ...EventType) (PatternType, error) {
+	return core.NewPatternType(name, elements...)
+}
+
+// E builds an unconditional pattern atom for one event type.
+func E(t EventType) Expr { return cep.E(t) }
+
+// SeqTypes builds the sequence expression SEQ(e1, …, em) over plain types.
+func SeqTypes(types ...EventType) Expr { return cep.SeqTypes(types...) }
+
+// SeqOf builds a sequence expression over sub-expressions.
+func SeqOf(parts ...Expr) Expr { return cep.SeqOf(parts...) }
+
+// AndOf builds a conjunction expression (all parts within the window).
+func AndOf(parts ...Expr) Expr { return cep.AndOf(parts...) }
+
+// OrOf builds a disjunction expression (any part within the window).
+func OrOf(parts ...Expr) Expr { return cep.OrOf(parts...) }
+
+// NegOf builds a negation expression (inner absent from the window).
+func NegOf(inner Expr) Expr { return cep.NegOf(inner) }
+
+// TimesOf builds a repetition expression: inner occurs at least min and at
+// most max times in the window (max = 0 means unbounded).
+func TimesOf(inner Expr, min, max int) Expr { return cep.TimesOf(inner, min, max) }
+
+// Parse compiles a textual pattern query — e.g.
+// "SEQ(enter-taxi, near-hospital) WITHIN 10" — into an expression tree and
+// window width (0 when no WITHIN clause is present).
+func Parse(input string) (Expr, Timestamp, error) { return cep.Parse(input) }
+
+// ParseQuery parses a named textual query, applying defaultWindow when the
+// text has no WITHIN clause.
+func ParseQuery(name, input string, defaultWindow Timestamp) (Query, error) {
+	return cep.ParseQuery(name, input, defaultWindow)
+}
+
+// NewUniformPPM builds the uniform pattern-level PPM: total budget eps per
+// private pattern type, split evenly across its elements.
+func NewUniformPPM(eps Epsilon, private ...PatternType) (*UniformPPM, error) {
+	return core.NewUniformPPM(eps, private...)
+}
+
+// NewAdaptivePPM fits the adaptive pattern-level PPM on historical windows.
+func NewAdaptivePPM(cfg AdaptiveConfig, history []IndicatorWindow, targets []Expr, private ...PatternType) (*AdaptivePPM, error) {
+	return core.NewAdaptivePPM(cfg, history, targets, private...)
+}
+
+// NewPrivateEngine wires a mechanism and its protected pattern types into a
+// trusted CEP engine. seed drives the mechanism's randomness.
+func NewPrivateEngine(m Mechanism, private []PatternType, seed int64) (*PrivateEngine, error) {
+	return core.NewPrivateEngine(m, private, seed)
+}
+
+// NewEngine returns a plain (non-private) CEP engine.
+func NewEngine() *Engine { return cep.NewEngine() }
+
+// WindowSlice batches a time-ordered event slice into tumbling windows.
+func WindowSlice(evs []Event, width Timestamp) []Window {
+	return stream.WindowSlice(evs, width)
+}
+
+// IndicatorWindows converts windows into per-type indicator windows over the
+// given types — the adaptive PPM's historical-data format.
+func IndicatorWindows(ws []Window, types []EventType) []IndicatorWindow {
+	return core.IndicatorWindows(ws, types)
+}

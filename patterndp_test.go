@@ -1,0 +1,103 @@
+package patterndp
+
+import (
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quickstart path through the
+// public surface only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	private, err := NewPatternType("hospital-trip", "enter-taxi", "near-hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppm, err := NewUniformPPM(40, private) // huge budget: near-deterministic
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewPrivateEngine(ppm, []PatternType{private}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.RegisterTarget(Query{
+		Name:    "traffic-jam",
+		Pattern: SeqTypes("near-hospital", "slow-speed"),
+		Window:  10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		NewEvent("enter-taxi", 1),
+		NewEvent("near-hospital", 3),
+		NewEvent("slow-speed", 5),
+		NewEvent("enter-taxi", 12),
+	}
+	answers, err := engine.ProcessEvents(events, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("answers = %d, want 2 windows", len(answers))
+	}
+	if !answers[0].Detected {
+		t.Error("window 0 should detect the traffic jam at high budget")
+	}
+	if answers[1].Detected {
+		t.Error("window 1 has no jam")
+	}
+}
+
+func TestPublicExpressionBuilders(t *testing.T) {
+	e := SeqOf(E("a"), AndOf(E("b"), NegOf(E("c"))), OrOf(E("d"), E("e")))
+	if len(e.Types()) != 5 {
+		t.Errorf("Types = %v", e.Types())
+	}
+}
+
+func TestPublicValuesAndWindows(t *testing.T) {
+	ev := NewEvent("a", 1).
+		WithAttr("i", Int(1)).
+		WithAttr("f", Float(2.5)).
+		WithAttr("s", String("x")).
+		WithAttr("b", Bool(true))
+	if len(ev.Attrs) != 4 {
+		t.Error("attrs lost")
+	}
+	ws := WindowSlice([]Event{NewEvent("a", 0), NewEvent("b", 12)}, 10)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	iws := IndicatorWindows(ws, []EventType{"a", "b"})
+	if !iws[0].Present["a"] || iws[0].Present["b"] {
+		t.Error("indicators wrong")
+	}
+}
+
+func TestPublicAdaptivePath(t *testing.T) {
+	private, _ := NewPatternType("p", "a", "b")
+	hist := IndicatorWindows(WindowSlice([]Event{
+		NewEvent("a", 0), NewEvent("b", 1),
+		NewEvent("a", 10),
+		NewEvent("b", 21),
+	}, 10), []EventType{"a", "b"})
+	ppm, err := NewAdaptivePPM(
+		AdaptiveConfig{Epsilon: 1, Alpha: 0.5, MaxIters: 3},
+		hist, []Expr{SeqTypes("a", "b")}, private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppm.TotalEpsilon() != 1 {
+		t.Error("budget lost")
+	}
+}
+
+func TestPublicPlainEngine(t *testing.T) {
+	g := NewEngine()
+	if err := g.Register(Query{Name: "q", Pattern: E("a"), Window: 5}); err != nil {
+		t.Fatal(err)
+	}
+	ds := g.EvaluateWindow(Window{Start: 0, End: 5, Events: []Event{NewEvent("a", 1)}})
+	if len(ds) != 1 || !ds[0].Detected {
+		t.Errorf("detections = %+v", ds)
+	}
+}
