@@ -10,6 +10,7 @@ package patterndp
 // stays in minutes; cmd/ppmbench runs the same code at any scale.
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"patterndp/internal/dp"
 	"patterndp/internal/event"
 	"patterndp/internal/experiment"
+	"patterndp/internal/runtime"
 	"patterndp/internal/stream"
 	"patterndp/internal/synth"
 	"patterndp/internal/taxi"
@@ -266,6 +268,69 @@ func BenchmarkMergeEvents(b *testing.B) {
 		for range merged {
 		}
 		close(done)
+	}
+}
+
+// BenchmarkRuntimeThroughput measures the sharded streaming runtime's
+// end-to-end serving rate — concurrent producers through ingest, windowing,
+// per-shard engines, and the answer bus — at 1, 4, and 8 shards. The
+// events/s metric is the scaling signal: multi-shard throughput should
+// exceed single-shard throughput.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	ds, err := synth.Generate(synth.DefaultConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	scfg := ds.Config
+	base := ds.Events()
+	private := ds.PrivateTypes()
+	targets := ds.TargetQueries()
+	const streams = 8
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			total := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt, err := runtime.New(runtime.Config{
+					Shards:      shards,
+					WindowWidth: scfg.WindowWidth,
+					Mechanism: func(int) (core.Mechanism, error) {
+						return core.NewUniformPPM(1, private...)
+					},
+					Private: private,
+					Targets: targets,
+					Seed:    int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sub := rt.Subscribe("")
+				drained := make(chan struct{})
+				go func() {
+					defer close(drained)
+					for range sub {
+					}
+				}()
+				var producers sync.WaitGroup
+				for s := 0; s < streams; s++ {
+					producers.Add(1)
+					go func(s int) {
+						defer producers.Done()
+						key := fmt.Sprintf("stream-%d", s)
+						for _, e := range base {
+							rt.Ingest(e.WithSource(key))
+						}
+					}(s)
+				}
+				producers.Wait()
+				if err := rt.Close(); err != nil {
+					b.Fatal(err)
+				}
+				<-drained
+				total += streams * len(base)
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }
 

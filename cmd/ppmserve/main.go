@@ -1,0 +1,159 @@
+// Command ppmserve demonstrates the sharded streaming runtime: it replays
+// synthetic traffic (Algorithm 2) across many concurrent streams, serves the
+// dataset's target queries behind the uniform PPM, and prints throughput and
+// the per-shard serving counters.
+//
+// Usage:
+//
+//	ppmserve -shards 8 -streams 32 -windows 500 -eps 1.0 -backpressure block
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"text/tabwriter"
+
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/event"
+	"patterndp/internal/runtime"
+	"patterndp/internal/synth"
+)
+
+func main() {
+	var (
+		shards   = flag.Int("shards", 8, "serving shards")
+		streams  = flag.Int("streams", 32, "concurrent event streams")
+		windows  = flag.Int("windows", 500, "windows generated per stream")
+		eps      = flag.Float64("eps", 1.0, "pattern-level privacy budget")
+		seed     = flag.Int64("seed", 1, "random seed")
+		buffer   = flag.Int("buffer", 256, "per-shard ingest buffer")
+		bp       = flag.String("backpressure", "block", "backpressure policy: block | drop-oldest")
+		lateness = flag.Int64("lateness", 0, "allowed lateness (>0 enables the reorder buffer)")
+		horizon  = flag.Int64("horizon", 0, "max forward timestamp jump per stream (0 = unbounded)")
+	)
+	flag.Parse()
+	if err := run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon); err != nil {
+		fmt.Fprintln(os.Stderr, "ppmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64) error {
+	scfg := synth.DefaultConfig(seed)
+	scfg.NumWindows = windows
+	ds, err := synth.Generate(scfg)
+	if err != nil {
+		return err
+	}
+	base := ds.Events()
+	private := ds.PrivateTypes()
+
+	cfg := runtime.Config{
+		Shards:      shards,
+		WindowWidth: scfg.WindowWidth,
+		Mechanism: func(int) (core.Mechanism, error) {
+			return core.NewUniformPPM(dp.Epsilon(eps), private...)
+		},
+		Private:     private,
+		Targets:     ds.TargetQueries(),
+		Seed:        seed,
+		ShardBuffer: buffer,
+	}
+	switch bp {
+	case "block":
+		cfg.Backpressure = runtime.Block
+	case "drop-oldest":
+		cfg.Backpressure = runtime.DropOldest
+	default:
+		return fmt.Errorf("unknown backpressure policy %q", bp)
+	}
+	if lateness > 0 {
+		cfg.Lateness = runtime.ReorderBuffer
+		cfg.AllowedLateness = event.Timestamp(lateness)
+	}
+	cfg.Horizon = event.Timestamp(horizon)
+	rt, err := runtime.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d streams x %d events (%d windows each) across %d shards, eps=%g\n",
+		streams, len(base), windows, shards, eps)
+
+	// One subscriber per target query, counting detections.
+	type tally struct {
+		answers, detected int
+	}
+	tallies := make([]tally, len(cfg.Targets))
+	var consumers sync.WaitGroup
+	for qi, q := range cfg.Targets {
+		// Subscribe before any producer starts so no answer is missed.
+		sub := rt.Subscribe(q.Name)
+		consumers.Add(1)
+		go func(qi int) {
+			defer consumers.Done()
+			for a := range sub {
+				tallies[qi].answers++
+				if a.Detected {
+					tallies[qi].detected++
+				}
+			}
+		}(qi)
+	}
+
+	// One producer per stream, replaying the synthetic feed under its own
+	// stream key.
+	var producers sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		producers.Add(1)
+		go func(i int) {
+			defer producers.Done()
+			key := fmt.Sprintf("stream-%03d", i)
+			for _, e := range base {
+				if err := rt.Ingest(e.WithSource(key)); err != nil {
+					fmt.Fprintln(os.Stderr, "ingest:", err)
+					return
+				}
+			}
+		}(i)
+	}
+	producers.Wait()
+	// Keep the Close error for after the report: on a shard failure the
+	// counters below are exactly what explains it.
+	closeErr := rt.Close()
+	consumers.Wait()
+
+	st := rt.Snapshot()
+	tot := st.Totals()
+	fmt.Printf("\nserved %d events in %v — %.0f events/s\n", tot.EventsIn, st.Uptime.Round(1000000), st.Throughput())
+	bal := st.Balance()
+	fmt.Printf("shard balance: mean %.0f events/shard, stddev %.0f, min %.0f, max %.0f\n",
+		bal.Mean, bal.StdDev, bal.Min, bal.Max)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nshard\tstreams\tevents\twindows\tanswers\tdropped(late/future/ingest)")
+	for _, s := range st.Shards {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d/%d/%d\n",
+			s.Shard, s.Streams, s.EventsIn, s.WindowsClosed, s.AnswersEmitted,
+			s.DroppedLate, s.DroppedFuture, s.DroppedIngest)
+	}
+	fmt.Fprintf(tw, "total\t%d\t%d\t%d\t%d\t%d/%d/%d\n",
+		tot.Streams, tot.EventsIn, tot.WindowsClosed, tot.AnswersEmitted,
+		tot.DroppedLate, tot.DroppedFuture, tot.DroppedIngest)
+	tw.Flush()
+	if tot.Failed {
+		fmt.Println("WARNING: one or more shards failed; see the Close error")
+	}
+
+	fmt.Println("\nper-query detection rates:")
+	for qi, q := range cfg.Targets {
+		rate := 0.0
+		if tallies[qi].answers > 0 {
+			rate = float64(tallies[qi].detected) / float64(tallies[qi].answers)
+		}
+		fmt.Printf("  %-12s %6d answers, %5.1f%% detected\n", q.Name, tallies[qi].answers, 100*rate)
+	}
+	return closeErr
+}

@@ -1,0 +1,119 @@
+// Example serving demonstrates the streaming runtime through the public API:
+// three smart-home tenants stream sensor events concurrently into a sharded
+// runtime; each tenant's "leave home" pattern is protected by the uniform
+// PPM while a consumer watches an "energy waste" target query live.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"patterndp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serving:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	private, err := patterndp.NewPatternType("leave-home", "door-open", "door-lock")
+	if err != nil {
+		return err
+	}
+	rt, err := patterndp.NewRuntime(patterndp.RuntimeConfig{
+		Shards:      2,
+		WindowWidth: 10,
+		Mechanism: func(int) (patterndp.Mechanism, error) {
+			return patterndp.NewUniformPPM(2.0, private)
+		},
+		Private: []patterndp.PatternType{private},
+		Targets: []patterndp.Query{{
+			Name:    "energy-waste",
+			Pattern: patterndp.AndOf(patterndp.E("door-lock"), patterndp.E("heater-on")),
+			Window:  10,
+		}},
+		Seed: 42,
+		// Tolerate sensor events up to 3 ticks out of order.
+		Lateness:        patterndp.ReorderBuffer,
+		AllowedLateness: 3,
+	})
+	if err != nil {
+		return err
+	}
+
+	answers := rt.Subscribe("energy-waste")
+	type result struct {
+		stream   string
+		window   int
+		detected bool
+	}
+	var got []result
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range answers {
+			got = append(got, result{a.Stream, a.WindowIndex, a.Detected})
+		}
+	}()
+
+	// Three households stream concurrently; household B's events arrive
+	// slightly out of order and are reordered by the lateness buffer.
+	feeds := map[string][]patterndp.Event{
+		"home-a": {
+			patterndp.NewEvent("door-open", 1),
+			patterndp.NewEvent("door-lock", 4),
+			patterndp.NewEvent("heater-on", 7),
+			patterndp.NewEvent("door-open", 15),
+		},
+		"home-b": {
+			patterndp.NewEvent("heater-on", 2),
+			patterndp.NewEvent("door-lock", 5),
+			patterndp.NewEvent("door-open", 3), // late but within tolerance
+			patterndp.NewEvent("door-lock", 12),
+		},
+		"home-c": {
+			patterndp.NewEvent("door-open", 2),
+			patterndp.NewEvent("tv-on", 6),
+			patterndp.NewEvent("tv-off", 14),
+		},
+	}
+	var producers sync.WaitGroup
+	for key, evs := range feeds {
+		producers.Add(1)
+		go func(key string, evs []patterndp.Event) {
+			defer producers.Done()
+			for _, e := range evs {
+				if err := rt.Ingest(e.WithSource(key)); err != nil {
+					fmt.Fprintln(os.Stderr, "ingest:", err)
+					return
+				}
+			}
+		}(key, evs)
+	}
+	producers.Wait()
+	if err := rt.Close(); err != nil {
+		return err
+	}
+	consumer.Wait()
+
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].stream != got[j].stream {
+			return got[i].stream < got[j].stream
+		}
+		return got[i].window < got[j].window
+	})
+	fmt.Println("energy-waste answers (protected):")
+	for _, r := range got {
+		fmt.Printf("  %s window %d: detected=%t\n", r.stream, r.window, r.detected)
+	}
+	tot := rt.Snapshot().Totals()
+	fmt.Printf("served %d events over %d streams in %d windows\n",
+		tot.EventsIn, tot.Streams, tot.WindowsClosed)
+	return nil
+}

@@ -1,0 +1,3 @@
+module patterndp
+
+go 1.24

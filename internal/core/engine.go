@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"patterndp/internal/cep"
 	"patterndp/internal/event"
@@ -31,14 +32,18 @@ type Answer struct {
 // mechanism perturbs the existence indicators of private-pattern elements,
 // and target queries are answered from the released indicators.
 //
-// PrivateEngine is safe for concurrent registration; the service phase
-// processes one stream at a time.
+// PrivateEngine is safe for concurrent registration and concurrent service
+// calls: every ProcessWindows call derives its own RNG from the engine seed
+// and a call counter, so randomness is never shared between goroutines.
+// (All provided mechanisms keep their per-sequence state local to Run; a
+// custom Mechanism must do the same to be served concurrently.)
 type PrivateEngine struct {
 	mu        sync.RWMutex
 	mechanism Mechanism
 	private   []PatternType
 	targets   map[string]cep.Query
-	rng       *rand.Rand
+	seed      int64
+	calls     atomic.Int64
 }
 
 // NewPrivateEngine builds an engine around the given mechanism and the
@@ -54,8 +59,47 @@ func NewPrivateEngine(m Mechanism, private []PatternType, seed int64) (*PrivateE
 		mechanism: m,
 		private:   private,
 		targets:   make(map[string]cep.Query),
-		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
 	}, nil
+}
+
+// MixSeed derives a decorrelated child seed from a parent seed and a step
+// index with one splitmix64 round: a golden-ratio increment followed by an
+// avalanche finalizer. The avalanche matters — with a purely linear mix,
+// (seed, step) pairs whose sums coincide would collide, and two engines
+// would draw identical noise for different releases.
+func MixSeed(seed, step int64) int64 {
+	z := uint64(seed) + uint64(step)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// splitmix64Source is a rand.Source64 whose state is the full 64-bit seed.
+// The stock rand.NewSource reduces its seed mod 2^31−1, which would collapse
+// MixSeed's decorrelated space to ~2^31 values and reintroduce identical
+// noise sequences between service calls after ~2^15.5 of them (birthday
+// bound). Construction is also O(1), versus the stock source's ~600-word
+// reseeding.
+type splitmix64Source struct{ state uint64 }
+
+func (s *splitmix64Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64Source) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix64Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// callRNG returns a fresh RNG for one service call, seeded from the engine
+// seed and the call index via MixSeed. Sequential callers therefore stay
+// reproducible while concurrent callers each get independent randomness.
+func (pe *PrivateEngine) callRNG() *rand.Rand {
+	n := pe.calls.Add(1) // 1-based so call 0 does not reuse the raw seed
+	return rand.New(&splitmix64Source{state: uint64(MixSeed(pe.seed, n))})
 }
 
 // RegisterTarget adds a data consumer's target query.
@@ -83,7 +127,9 @@ func (pe *PrivateEngine) Targets() []cep.Query {
 
 // relevantTypes returns the union of private-pattern element types and
 // target-query types, so indicators cover everything queries may reference.
-func (pe *PrivateEngine) relevantTypes() []event.Type {
+// The caller supplies its Targets() snapshot so the streaming hot path
+// (one ProcessWindows per closed window) builds the target list only once.
+func (pe *PrivateEngine) relevantTypes(targets []cep.Query) []event.Type {
 	seen := make(map[event.Type]bool)
 	var out []event.Type
 	add := func(ts []event.Type) {
@@ -97,7 +143,7 @@ func (pe *PrivateEngine) relevantTypes() []event.Type {
 	for _, pt := range pe.private {
 		add(pt.Elements)
 	}
-	for _, q := range pe.Targets() {
+	for _, q := range targets {
 		add(q.Pattern.Types())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -112,9 +158,9 @@ func (pe *PrivateEngine) ProcessWindows(ws []stream.Window) ([]Answer, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("core: no target queries registered")
 	}
-	types := pe.relevantTypes()
+	types := pe.relevantTypes(targets)
 	iws := IndicatorWindows(ws, types)
-	released := pe.mechanism.Run(pe.rng, iws)
+	released := pe.mechanism.Run(pe.callRNG(), iws)
 	if len(released) != len(ws) {
 		return nil, fmt.Errorf("core: mechanism %q returned %d windows for %d inputs",
 			pe.mechanism.Name(), len(released), len(ws))

@@ -118,7 +118,7 @@ func TestRelevantTypesUnion(t *testing.T) {
 	pt := mustPT(t, "priv", "a", "b")
 	pe, _ := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
 	pe.RegisterTarget(cep.Query{Name: "t", Pattern: cep.SeqTypes("b", "c"), Window: 5})
-	types := pe.relevantTypes()
+	types := pe.relevantTypes(pe.Targets())
 	if len(types) != 3 {
 		t.Fatalf("relevantTypes = %v", types)
 	}

@@ -1,11 +1,14 @@
-// Package metrics implements the data-quality measures of Section III-B:
+// Package metrics implements the data-quality measures of Section III-B —
 // precision, recall, the combined quality metric Q = α·Prec + (1−α)·Rec, and
-// the Mean Relative Error (MRE) between the quality without and with a PPM.
+// the Mean Relative Error (MRE) between the quality without and with a PPM —
+// plus the race-free counters the serving runtime reports through.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 )
 
 // Confusion accumulates binary-detection outcomes against ground truth.
@@ -134,6 +137,31 @@ type Summary struct {
 	StdDev float64
 	// Min and Max bound the measurements.
 	Min, Max float64
+}
+
+// Counter is a race-free monotonic counter. The zero value is ready to use.
+// Runtime shards bump counters from their serving goroutines while Snapshot
+// readers load them concurrently.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Rate converts a count observed over an elapsed duration into a per-second
+// rate. It returns 0 for non-positive durations.
+func Rate(n int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
 }
 
 // Summarize computes a Summary of xs. It returns a zero Summary for empty

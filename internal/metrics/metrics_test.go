@@ -3,8 +3,10 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestConfusionAdd(t *testing.T) {
@@ -158,5 +160,36 @@ func TestConfusionString(t *testing.T) {
 	s := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}.String()
 	if !strings.Contains(s, "TP=1") || !strings.Contains(s, "TN=4") {
 		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(2)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000+8*2 {
+		t.Errorf("Load = %d, want %d", got, 8*1000+8*2)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(500, 2*time.Second); got != 250 {
+		t.Errorf("Rate = %g, want 250", got)
+	}
+	if got := Rate(500, 0); got != 0 {
+		t.Errorf("Rate over zero duration = %g, want 0", got)
+	}
+	if got := Rate(500, -time.Second); got != 0 {
+		t.Errorf("Rate over negative duration = %g, want 0", got)
 	}
 }

@@ -1,0 +1,79 @@
+package runtime
+
+import (
+	"sync"
+
+	"patterndp/internal/core"
+)
+
+// Answer is one released query answer enriched with serving provenance: the
+// stream key the window was cut from and the shard that served it.
+// WindowIndex counts windows per stream feed, so answers for one stream
+// arrive in strictly increasing window order — until the stream is evicted
+// under Config.EvictAfter, after which a returning stream starts a fresh
+// feed with WindowIndex 0.
+type Answer struct {
+	// Stream is the key of the stream the window belongs to.
+	Stream string
+	// Shard is the index of the shard that served the window.
+	Shard int
+	core.Answer
+}
+
+// bus fans released answers out to per-query subscribers. Publishing blocks
+// when a subscriber's buffer is full — that is the delivery-side
+// backpressure; consumers must drain their channels until closed.
+type bus struct {
+	mu     sync.RWMutex
+	buffer int
+	subs   map[string][]chan Answer // query name → subscribers; "" receives all
+	closed bool
+}
+
+func newBus(buffer int) *bus {
+	return &bus{buffer: buffer, subs: make(map[string][]chan Answer)}
+}
+
+// subscribe registers a new subscriber for the named query ("" for every
+// query). After the bus has closed it returns an already-closed channel.
+func (b *bus) subscribe(query string) <-chan Answer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan Answer, b.buffer)
+	if b.closed {
+		close(ch)
+		return ch
+	}
+	b.subs[query] = append(b.subs[query], ch)
+	return ch
+}
+
+// publish delivers an answer to the query's subscribers and to the
+// subscribe-all set. Sends happen outside the lock so a slow subscriber
+// stalls publishers but never blocks new subscriptions.
+func (b *bus) publish(a Answer) {
+	b.mu.RLock()
+	targets := make([]chan Answer, 0, len(b.subs[a.Query])+len(b.subs[""]))
+	targets = append(targets, b.subs[a.Query]...)
+	targets = append(targets, b.subs[""]...)
+	b.mu.RUnlock()
+	for _, ch := range targets {
+		ch <- a
+	}
+}
+
+// close closes every subscriber channel. The runtime only calls it after all
+// shards have drained, so no publish can be in flight.
+func (b *bus) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, chans := range b.subs {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+}

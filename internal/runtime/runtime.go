@@ -1,0 +1,370 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/core"
+	"patterndp/internal/event"
+	"patterndp/internal/metrics"
+)
+
+// BackpressurePolicy selects what Ingest does when a shard's bounded ingest
+// channel is full.
+type BackpressurePolicy int
+
+const (
+	// Block makes Ingest wait until the shard has capacity — lossless, and
+	// the producer inherits the serving rate.
+	Block BackpressurePolicy = iota
+	// DropOldest makes Ingest evict the oldest queued event to admit the
+	// new one — lossy, bounded latency; evictions are counted per shard.
+	DropOldest
+)
+
+// String names the policy for logs and flags.
+func (p BackpressurePolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrClosed is returned by Ingest and Close after the runtime has closed.
+var ErrClosed = errors.New("runtime: closed")
+
+// ErrShardFailed is returned (wrapped, with the shard index) by Ingest when
+// the target shard has stopped serving after an engine error. The underlying
+// error is reported by Close.
+var ErrShardFailed = errors.New("runtime: shard failed")
+
+// Config parameterizes a Runtime. Mechanism, Private, Targets, and
+// WindowWidth are required; zero values elsewhere pick the documented
+// defaults.
+type Config struct {
+	// Shards is the number of serving shards. Default: GOMAXPROCS.
+	Shards int
+	// WindowWidth is the tumbling-window width applied per stream.
+	WindowWidth event.Timestamp
+	// Mechanism builds shard i's own mechanism instance, so no mechanism
+	// state or configuration is shared between shards.
+	Mechanism func(shard int) (core.Mechanism, error)
+	// Private are the protected pattern types, registered on every shard.
+	Private []core.PatternType
+	// Targets are the data consumers' queries, registered on every shard.
+	// At least one is required (more can be added via RegisterTarget).
+	Targets []cep.Query
+	// Seed drives all mechanism randomness; each shard's engine derives an
+	// independent seed from it.
+	Seed int64
+	// Sharder routes stream keys to shards. Default: HashSharder.
+	Sharder Sharder
+	// Lateness selects the per-stream out-of-order policy.
+	Lateness LatenessPolicy
+	// AllowedLateness is how far the watermark trails the newest event
+	// under ReorderBuffer.
+	AllowedLateness event.Timestamp
+	// Horizon bounds how far past a stream's newest event one event may
+	// jump — and therefore how many gap windows (each served and
+	// released) a single runaway timestamp can force; beyond it the event
+	// is rejected and counted. 0 disables the bound.
+	Horizon event.Timestamp
+	// EvictAfter bounds per-stream state under stream-key churn: when a
+	// shard has served this many events without one from a given stream,
+	// that stream's trailing windows are flushed and answered and its
+	// state is freed (a later event for it starts a fresh feed). 0 keeps
+	// every stream's state until Close.
+	EvictAfter int64
+	// Backpressure selects the full-ingest-channel policy.
+	Backpressure BackpressurePolicy
+	// ShardBuffer is each shard's ingest-channel capacity. Default: 256.
+	ShardBuffer int
+	// SubscriberBuffer is each subscription's channel capacity. Default: 64.
+	SubscriberBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = goruntime.GOMAXPROCS(0)
+	}
+	if c.Sharder == nil {
+		c.Sharder = HashSharder{}
+	}
+	if c.ShardBuffer == 0 {
+		c.ShardBuffer = 256
+	}
+	if c.SubscriberBuffer == 0 {
+		c.SubscriberBuffer = 64
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Shards < 1:
+		return fmt.Errorf("runtime: Shards = %d", c.Shards)
+	case c.WindowWidth <= 0:
+		return fmt.Errorf("runtime: WindowWidth = %d", c.WindowWidth)
+	case c.Mechanism == nil:
+		return fmt.Errorf("runtime: nil Mechanism factory")
+	case len(c.Private) == 0:
+		return fmt.Errorf("runtime: no private pattern types")
+	case len(c.Targets) == 0:
+		return fmt.Errorf("runtime: no target queries")
+	case c.AllowedLateness < 0:
+		return fmt.Errorf("runtime: AllowedLateness = %d", c.AllowedLateness)
+	case c.Horizon < 0:
+		return fmt.Errorf("runtime: Horizon = %d", c.Horizon)
+	case c.EvictAfter < 0:
+		return fmt.Errorf("runtime: EvictAfter = %d", c.EvictAfter)
+	case c.ShardBuffer < 1:
+		return fmt.Errorf("runtime: ShardBuffer = %d", c.ShardBuffer)
+	case c.SubscriberBuffer < 0:
+		return fmt.Errorf("runtime: SubscriberBuffer = %d", c.SubscriberBuffer)
+	}
+	return nil
+}
+
+// Runtime is the sharded streaming serving layer: it continuously ingests a
+// multi-stream event feed, windows each stream incrementally, serves closed
+// windows through per-shard PrivateEngines, and delivers released answers to
+// per-query subscribers. Ingest, Subscribe, RegisterTarget, and Snapshot are
+// safe for concurrent use.
+type Runtime struct {
+	cfg    Config
+	shards []*shard
+	bus    *bus
+	wg     sync.WaitGroup
+	start  time.Time
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New validates the configuration, builds the shards — each with its own
+// mechanism instance and independently seeded engine — and starts serving.
+func New(cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{cfg: cfg, bus: newBus(cfg.SubscriberBuffer), start: time.Now()}
+	for i := 0; i < cfg.Shards; i++ {
+		m, err := cfg.Mechanism(i)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: shard %d mechanism: %w", i, err)
+		}
+		eng, err := core.NewPrivateEngine(m, cfg.Private, shardSeed(cfg.Seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("runtime: shard %d engine: %w", i, err)
+		}
+		for _, q := range cfg.Targets {
+			if err := eng.RegisterTarget(q); err != nil {
+				return nil, fmt.Errorf("runtime: shard %d target: %w", i, err)
+			}
+		}
+		rt.shards = append(rt.shards, &shard{
+			id:      i,
+			rt:      rt,
+			engine:  eng,
+			in:      make(chan event.Event, cfg.ShardBuffer),
+			streams: make(map[string]*streamState),
+		})
+	}
+	rt.wg.Add(len(rt.shards))
+	for _, sh := range rt.shards {
+		go sh.run()
+	}
+	return rt, nil
+}
+
+// shardSeed derives shard i's engine seed from the runtime seed with the
+// avalanche mix the engine also applies per call. Both layers must avalanche:
+// were either linear, shard i's call n and shard j's call m would collide
+// whenever i+n == j+m, and two shards would perturb different windows with
+// identical noise.
+func shardSeed(seed int64, i int) int64 {
+	return core.MixSeed(seed, int64(i)+1)
+}
+
+// Shards returns the number of serving shards.
+func (rt *Runtime) Shards() int { return len(rt.shards) }
+
+// Ingest routes one event to its stream's shard, applying the configured
+// backpressure policy when the shard's channel is full. Events of one stream
+// key may be ingested from one goroutine only (or externally ordered);
+// different streams may ingest concurrently.
+func (rt *Runtime) Ingest(e event.Event) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	sh := rt.shards[rt.cfg.Sharder.Shard(streamKey(e), len(rt.shards))]
+	if sh.failed.Load() {
+		return fmt.Errorf("runtime: shard %d: %w", sh.id, ErrShardFailed)
+	}
+	if rt.cfg.Backpressure == DropOldest {
+		for {
+			select {
+			case sh.in <- e:
+				return nil
+			default:
+			}
+			select {
+			case <-sh.in:
+				sh.stats.droppedIngest.Inc()
+			default:
+			}
+		}
+	}
+	sh.in <- e
+	return nil
+}
+
+// Subscribe returns a channel delivering released answers for the named
+// query; the empty name subscribes to every query. Answers for one stream
+// arrive in window order (indices restart at 0 if the stream is evicted
+// and returns; see Config.EvictAfter); interleaving across streams is
+// unspecified. The
+// channel closes when the runtime closes, and subscribers must keep draining
+// until then — an abandoned subscription eventually stalls serving.
+func (rt *Runtime) Subscribe(query string) <-chan Answer {
+	return rt.bus.subscribe(query)
+}
+
+// RegisterTarget adds a target query on every shard, effective from the next
+// window each shard closes.
+func (rt *Runtime) RegisterTarget(q cep.Query) error {
+	for _, sh := range rt.shards {
+		if err := sh.engine.RegisterTarget(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops ingestion, drains every shard — trailing partial windows are
+// flushed and answered — then closes all subscriptions. It returns the first
+// shard serving error, if any. Ingest calls racing with Close either land
+// before the drain or fail with ErrClosed.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrClosed
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	for _, sh := range rt.shards {
+		close(sh.in)
+	}
+	rt.wg.Wait()
+	rt.bus.close()
+	for _, sh := range rt.shards {
+		if sh.err != nil {
+			return fmt.Errorf("runtime: shard %d: %w", sh.id, sh.err)
+		}
+	}
+	return nil
+}
+
+// ShardStats are one shard's serving counters at a point in time.
+type ShardStats struct {
+	// Shard is the shard index (-1 for aggregated totals).
+	Shard int
+	// Streams counts stream states opened on the shard (an evicted stream
+	// that returns is counted again).
+	Streams int64
+	// StreamsEvicted counts idle stream states flushed and freed under
+	// the EvictAfter policy.
+	StreamsEvicted int64
+	// EventsIn counts events accepted from ingest.
+	EventsIn int64
+	// WindowsClosed counts windows cut and served.
+	WindowsClosed int64
+	// AnswersEmitted counts released answers published to the bus.
+	AnswersEmitted int64
+	// DroppedLate counts events discarded by the lateness policy.
+	DroppedLate int64
+	// DroppedFuture counts events rejected by the Horizon bound.
+	DroppedFuture int64
+	// DroppedIngest counts events evicted by DropOldest backpressure.
+	DroppedIngest int64
+	// DroppedFailed counts events discarded after the shard failed.
+	DroppedFailed int64
+	// Failed reports that the shard stopped serving on an engine error;
+	// Ingest to it returns ErrShardFailed and Close reports the cause.
+	Failed bool
+}
+
+// Stats is a point-in-time snapshot of the whole runtime.
+type Stats struct {
+	// Shards holds one entry per shard, in shard order.
+	Shards []ShardStats
+	// Uptime is the time since the runtime started serving.
+	Uptime time.Duration
+}
+
+// Snapshot reads every shard's counters. It is cheap and safe to call at any
+// time, including while serving.
+func (rt *Runtime) Snapshot() Stats {
+	st := Stats{Shards: make([]ShardStats, len(rt.shards)), Uptime: time.Since(rt.start)}
+	for i, sh := range rt.shards {
+		st.Shards[i] = ShardStats{
+			Shard:          i,
+			Streams:        sh.stats.streams.Load(),
+			StreamsEvicted: sh.stats.streamsEvicted.Load(),
+			EventsIn:       sh.stats.eventsIn.Load(),
+			WindowsClosed:  sh.stats.windowsClosed.Load(),
+			AnswersEmitted: sh.stats.answersEmitted.Load(),
+			DroppedLate:    sh.stats.droppedLate.Load(),
+			DroppedFuture:  sh.stats.droppedFuture.Load(),
+			DroppedIngest:  sh.stats.droppedIngest.Load(),
+			DroppedFailed:  sh.stats.droppedFailed.Load(),
+			Failed:         sh.failed.Load(),
+		}
+	}
+	return st
+}
+
+// Totals aggregates the per-shard counters.
+func (st Stats) Totals() ShardStats {
+	t := ShardStats{Shard: -1}
+	for _, s := range st.Shards {
+		t.Streams += s.Streams
+		t.StreamsEvicted += s.StreamsEvicted
+		t.EventsIn += s.EventsIn
+		t.WindowsClosed += s.WindowsClosed
+		t.AnswersEmitted += s.AnswersEmitted
+		t.DroppedLate += s.DroppedLate
+		t.DroppedFuture += s.DroppedFuture
+		t.DroppedIngest += s.DroppedIngest
+		t.DroppedFailed += s.DroppedFailed
+		t.Failed = t.Failed || s.Failed
+	}
+	return t
+}
+
+// Throughput is the aggregate ingest rate in events per second since start.
+func (st Stats) Throughput() float64 {
+	return metrics.Rate(st.Totals().EventsIn, st.Uptime)
+}
+
+// Balance summarizes how evenly events spread across shards (a Summary of
+// per-shard EventsIn): a high StdDev relative to Mean signals hot shards.
+func (st Stats) Balance() metrics.Summary {
+	xs := make([]float64, len(st.Shards))
+	for i, s := range st.Shards {
+		xs[i] = float64(s.EventsIn)
+	}
+	return metrics.Summarize(xs)
+}

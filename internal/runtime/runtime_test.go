@@ -1,0 +1,506 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/event"
+)
+
+func testConfig(t *testing.T, shards int) Config {
+	t.Helper()
+	pt, err := core.NewPatternType("priv", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Shards:      shards,
+		WindowWidth: 10,
+		// Huge budget: perturbation is negligible, so released answers
+		// must match ground truth and assertions stay deterministic.
+		Mechanism: func(int) (core.Mechanism, error) {
+			return core.NewUniformPPM(50, pt)
+		},
+		Private: []core.PatternType{pt},
+		Targets: []cep.Query{
+			{Name: "has-a", Pattern: cep.E("a"), Window: 10},
+			{Name: "seq-ab", Pattern: cep.SeqTypes("a", "b"), Window: 10},
+		},
+		Seed: 7,
+	}
+}
+
+// streamEvents builds one stream's events: an "a" in every window and a "b"
+// in every even window, over the given number of windows.
+func streamEvents(key string, windows int) []event.Event {
+	var out []event.Event
+	for w := 0; w < windows; w++ {
+		base := event.Timestamp(w * 10)
+		out = append(out, event.New("a", base+1).WithSource(key))
+		if w%2 == 0 {
+			out = append(out, event.New("b", base+5).WithSource(key))
+		}
+	}
+	return out
+}
+
+// TestRuntimeMultiStreamOrdering is the acceptance scenario: >= 4 shards
+// serving >= 4 concurrent streams under -race, with per-query answers
+// arriving in window order per stream and matching ground truth.
+func TestRuntimeMultiStreamOrdering(t *testing.T) {
+	const streams, windows = 6, 20
+	rt, err := New(testConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := rt.Subscribe("seq-ab")
+	var got []Answer
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range sub {
+			got = append(got, a)
+		}
+	}()
+
+	var producers sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		producers.Add(1)
+		go func(i int) {
+			defer producers.Done()
+			for _, e := range streamEvents(fmt.Sprintf("stream-%d", i), windows) {
+				if err := rt.Ingest(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	producers.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Wait()
+
+	if len(got) != streams*windows {
+		t.Fatalf("answers = %d, want %d", len(got), streams*windows)
+	}
+	next := make(map[string]int)
+	for _, a := range got {
+		if a.Query != "seq-ab" {
+			t.Fatalf("subscription leaked query %q", a.Query)
+		}
+		if a.WindowIndex != next[a.Stream] {
+			t.Fatalf("stream %s answer out of order: window %d, want %d", a.Stream, a.WindowIndex, next[a.Stream])
+		}
+		next[a.Stream]++
+		if want := a.WindowIndex%2 == 0; a.Detected != want {
+			t.Errorf("stream %s window %d detected=%t, want %t", a.Stream, a.WindowIndex, a.Detected, want)
+		}
+	}
+	st := rt.Snapshot()
+	tot := st.Totals()
+	if want := int64(streams * (windows + windows/2)); tot.EventsIn != want {
+		t.Errorf("EventsIn = %d, want %d", tot.EventsIn, want)
+	}
+	if want := int64(streams * windows); tot.WindowsClosed != want {
+		t.Errorf("WindowsClosed = %d, want %d", tot.WindowsClosed, want)
+	}
+	// Two queries per window.
+	if want := int64(2 * streams * windows); tot.AnswersEmitted != want {
+		t.Errorf("AnswersEmitted = %d, want %d", tot.AnswersEmitted, want)
+	}
+	if tot.Streams != streams {
+		t.Errorf("Streams = %d, want %d", tot.Streams, streams)
+	}
+	if b := st.Balance(); b.N != 4 {
+		t.Errorf("Balance over %d shards, want 4", b.N)
+	}
+}
+
+// TestRuntimeStreamAffinity verifies all of one stream's windows are served
+// by a single shard (the precondition for per-stream order).
+func TestRuntimeStreamAffinity(t *testing.T) {
+	rt, err := New(testConfig(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := rt.Subscribe("")
+	shardOf := make(map[string]map[int]bool)
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range sub {
+			if shardOf[a.Stream] == nil {
+				shardOf[a.Stream] = make(map[int]bool)
+			}
+			shardOf[a.Stream][a.Shard] = true
+		}
+	}()
+	for i := 0; i < 16; i++ {
+		for _, e := range streamEvents(fmt.Sprintf("s%d", i), 4) {
+			if err := rt.Ingest(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Wait()
+	if len(shardOf) != 16 {
+		t.Fatalf("streams seen = %d, want 16", len(shardOf))
+	}
+	for key, shards := range shardOf {
+		if len(shards) != 1 {
+			t.Errorf("stream %s served by %d shards", key, len(shards))
+		}
+	}
+}
+
+// TestRuntimeDropLateCounted feeds a straggler past its window and checks the
+// dropped-late counter.
+func TestRuntimeDropLateCounted(t *testing.T) {
+	rt, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := rt.Subscribe("")
+	go func() {
+		for range sub {
+		}
+	}()
+	for _, e := range []event.Event{
+		event.New("a", 1), event.New("a", 15), event.New("b", 2), // b@2 is late
+	} {
+		if err := rt.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tot := rt.Snapshot().Totals()
+	if tot.DroppedLate != 1 {
+		t.Errorf("DroppedLate = %d, want 1", tot.DroppedLate)
+	}
+	if tot.EventsIn != 3 {
+		t.Errorf("EventsIn = %d, want 3", tot.EventsIn)
+	}
+}
+
+// TestRuntimeDropOldestBackpressure fills a tiny ingest buffer with serving
+// stalled behind an unconsumed subscription, then checks evictions happened
+// instead of blocking.
+func TestRuntimeDropOldestBackpressure(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Backpressure = DropOldest
+	cfg.ShardBuffer = 4
+	cfg.SubscriberBuffer = 0
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A subscriber that consumes only after Close lets answers stall the
+	// shard, so the ingest channel must overflow and evict.
+	sub := rt.Subscribe("")
+	for i := 0; i < 64; i++ {
+		if err := rt.Ingest(event.New("a", event.Timestamp(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub {
+		}
+	}()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	tot := rt.Snapshot().Totals()
+	if tot.DroppedIngest == 0 {
+		t.Error("DroppedIngest = 0, want evictions under a full ingest channel")
+	}
+	if tot.EventsIn+tot.DroppedIngest != 64 {
+		t.Errorf("EventsIn %d + DroppedIngest %d != 64", tot.EventsIn, tot.DroppedIngest)
+	}
+}
+
+// TestRuntimeClosedSemantics checks Ingest and Close after Close, and that
+// subscriptions close.
+func TestRuntimeClosedSemantics(t *testing.T) {
+	rt, err := New(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := rt.Subscribe("has-a")
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, open := <-sub; open {
+		t.Error("subscription still open after Close")
+	}
+	if err := rt.Ingest(event.New("a", 1)); err != ErrClosed {
+		t.Errorf("Ingest after Close = %v, want ErrClosed", err)
+	}
+	if err := rt.Close(); err != ErrClosed {
+		t.Errorf("second Close = %v, want ErrClosed", err)
+	}
+	if _, open := <-rt.Subscribe("has-a"); open {
+		t.Error("Subscribe after Close returned an open channel")
+	}
+}
+
+// TestRuntimeRegisterTargetLive adds a query mid-serve and checks it starts
+// answering on later windows.
+func TestRuntimeRegisterTargetLive(t *testing.T) {
+	rt, err := New(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := rt.Subscribe("late-q")
+	var n int
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for range sub {
+			n++
+		}
+	}()
+	if err := rt.RegisterTarget(cep.Query{Name: "late-q", Pattern: cep.E("b"), Window: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range streamEvents("s", 5) {
+		if err := rt.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Wait()
+	if n != 5 {
+		t.Errorf("late-q answers = %d, want 5", n)
+	}
+}
+
+// TestRuntimeDeterministicPerStream pins cross-run determinism: identical
+// seeds and a single producer per stream must yield identical per-stream
+// answer sequences regardless of shard count.
+func TestRuntimeDeterministicPerStream(t *testing.T) {
+	run := func(shards int) map[string][]bool {
+		cfg := testConfig(t, shards)
+		cfg.Mechanism = func(int) (core.Mechanism, error) {
+			pt := cfg.Private[0]
+			return core.NewUniformPPM(1, pt) // low budget: real perturbation
+		}
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := rt.Subscribe("has-a")
+		out := make(map[string][]bool)
+		var consumer sync.WaitGroup
+		consumer.Add(1)
+		go func() {
+			defer consumer.Done()
+			for a := range sub {
+				out[a.Stream] = append(out[a.Stream], a.Detected)
+			}
+		}()
+		// One stream only: its shard (hence seed) is stable for a fixed
+		// shard count.
+		for _, e := range streamEvents("solo", 30) {
+			if err := rt.Ingest(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		consumer.Wait()
+		return out
+	}
+	a, b := run(4), run(4)
+	if len(a["solo"]) != 30 || len(b["solo"]) != 30 {
+		t.Fatalf("answer counts = %d, %d, want 30", len(a["solo"]), len(b["solo"]))
+	}
+	for i := range a["solo"] {
+		if a["solo"][i] != b["solo"][i] {
+			t.Fatalf("window %d diverges between identically seeded runs", i)
+		}
+	}
+}
+
+// failingMechanism misbehaves (wrong window count) after a number of calls,
+// standing in for a buggy custom Mechanism in production.
+type failingMechanism struct{ calls, after int }
+
+func (m *failingMechanism) Name() string             { return "failing" }
+func (m *failingMechanism) TotalEpsilon() dp.Epsilon { return 1 }
+func (m *failingMechanism) Run(rng *rand.Rand, wins []core.IndicatorWindow) []map[event.Type]bool {
+	m.calls++
+	if m.calls > m.after {
+		return nil // wrong length: the engine must reject this
+	}
+	return core.Identity{}.Run(rng, wins)
+}
+
+// TestRuntimeShardFailureSurfaces is the regression test for silent shard
+// death: after an engine error the failure must show up in Ingest (not just
+// at Close), in the snapshot, and in Close's returned error.
+func TestRuntimeShardFailureSurfaces(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Mechanism = func(int) (core.Mechanism, error) {
+		return &failingMechanism{after: 1}, nil
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := rt.Subscribe("")
+	go func() {
+		for range sub {
+		}
+	}()
+	// Window 0 serves fine; window 1 triggers the failure. Keep ingesting
+	// until the failure propagates to Ingest.
+	var ingestErr error
+	for i := 0; i < 100000 && ingestErr == nil; i++ {
+		ingestErr = rt.Ingest(event.New("a", event.Timestamp(i)))
+	}
+	if !errors.Is(ingestErr, ErrShardFailed) {
+		t.Fatalf("Ingest after shard failure = %v, want ErrShardFailed", ingestErr)
+	}
+	tot := rt.Snapshot().Totals()
+	if !tot.Failed {
+		t.Error("Snapshot does not report the failed shard")
+	}
+	if err := rt.Close(); err == nil || errors.Is(err, ErrClosed) {
+		t.Errorf("Close = %v, want the underlying engine error", err)
+	}
+}
+
+// TestRuntimeIdleStreamEviction is the regression test for unbounded
+// per-stream state under key churn: with EvictAfter set, an idle stream's
+// trailing window must be flushed and answered before Close, its state
+// freed, and a returning event must start a fresh feed.
+func TestRuntimeIdleStreamEviction(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.EvictAfter = 8
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := rt.Subscribe("has-a")
+	var mu sync.Mutex
+	byStream := make(map[string]int)
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range sub {
+			mu.Lock()
+			byStream[a.Stream]++
+			mu.Unlock()
+		}
+	}()
+	// One event on the idle stream, then enough traffic on another stream
+	// to trigger a sweep that evicts it.
+	if err := rt.Ingest(event.New("a", 1).WithSource("idle")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := rt.Ingest(event.New("a", event.Timestamp(i)).WithSource("busy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The idle stream's trailing window must be answered without Close.
+	deadline := 0
+	for {
+		mu.Lock()
+		n := byStream["idle"]
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if deadline++; deadline > 2000 {
+			t.Fatal("idle stream's trailing window never flushed by eviction")
+		}
+		time.Sleep(time.Millisecond) // let the shard goroutine serve
+		// Keep the busy stream moving so sweeps keep firing.
+		if err := rt.Ingest(event.New("a", 500).WithSource("busy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A returning event starts a fresh feed (not dropped as late).
+	if err := rt.Ingest(event.New("a", 2).WithSource("idle")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Wait()
+	tot := rt.Snapshot().Totals()
+	if tot.StreamsEvicted == 0 {
+		t.Error("StreamsEvicted = 0, want at least 1")
+	}
+	if tot.Streams < 3 {
+		t.Errorf("Streams = %d, want >= 3 (idle opened twice)", tot.Streams)
+	}
+	if tot.DroppedLate != 0 {
+		t.Errorf("DroppedLate = %d: returning stream treated as late", tot.DroppedLate)
+	}
+	if byStream["idle"] < 2 {
+		t.Errorf("idle stream answers = %d, want >= 2 (evicted flush + fresh feed)", byStream["idle"])
+	}
+}
+
+func TestRuntimeConfigValidation(t *testing.T) {
+	base := testConfig(t, 1)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no window width", func(c *Config) { c.WindowWidth = 0 }},
+		{"nil mechanism", func(c *Config) { c.Mechanism = nil }},
+		{"no private", func(c *Config) { c.Private = nil }},
+		{"no targets", func(c *Config) { c.Targets = nil }},
+		{"negative lateness", func(c *Config) { c.AllowedLateness = -1 }},
+		{"negative horizon", func(c *Config) { c.Horizon = -1 }},
+		{"negative evict", func(c *Config) { c.EvictAfter = -1 }},
+		{"negative shards", func(c *Config) { c.Shards = -2 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestHashSharderStable(t *testing.T) {
+	s := HashSharder{}
+	for _, key := range []string{"", "a", "stream-42", "taxi-007"} {
+		i := s.Shard(key, 8)
+		if i < 0 || i >= 8 {
+			t.Fatalf("Shard(%q) = %d out of range", key, i)
+		}
+		if j := s.Shard(key, 8); j != i {
+			t.Errorf("Shard(%q) unstable: %d then %d", key, i, j)
+		}
+	}
+}

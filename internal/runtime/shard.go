@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"patterndp/internal/core"
+	"patterndp/internal/event"
+	"patterndp/internal/metrics"
+	"patterndp/internal/stream"
+)
+
+// shardStats are one shard's serving counters. They are bumped only by the
+// shard's serving goroutine (droppedIngest: by producers) and loaded
+// concurrently by Snapshot.
+type shardStats struct {
+	eventsIn       metrics.Counter
+	windowsClosed  metrics.Counter
+	answersEmitted metrics.Counter
+	droppedLate    metrics.Counter
+	droppedFuture  metrics.Counter
+	droppedIngest  metrics.Counter
+	droppedFailed  metrics.Counter
+	streams        metrics.Counter
+	streamsEvicted metrics.Counter
+}
+
+// streamState is the per-stream serving state owned by one shard: the
+// stream's incremental windower, its next window index, and the shard clock
+// reading of its last event (for idle eviction).
+type streamState struct {
+	win      *Windower
+	next     int
+	lastSeen int64
+}
+
+// shard is one serving unit: a bounded ingest channel, its own PrivateEngine
+// around its own mechanism instance (independently seeded), and the window
+// state of every stream routed to it. All fields past the channel are owned
+// by the shard's run goroutine.
+type shard struct {
+	id      int
+	rt      *Runtime
+	engine  *core.PrivateEngine
+	in      chan event.Event
+	streams map[string]*streamState
+	clock   int64 // events served; drives idle-stream eviction
+	stats   shardStats
+	failed  atomic.Bool // set on the first serving error; checked by Ingest
+	err     error       // first serving error; read after rt.wg.Wait()
+}
+
+// run is the shard's serving loop: window every incoming event's stream,
+// serve closed windows through the engine, and publish released answers.
+// When the ingest channel closes it drains, flushing every stream's trailing
+// windows in deterministic key order.
+func (s *shard) run() {
+	defer s.rt.wg.Done()
+	for e := range s.in {
+		s.stats.eventsIn.Inc()
+		s.clock++
+		key := streamKey(e)
+		st := s.streams[key]
+		if st == nil {
+			st = &streamState{win: NewWindower(s.rt.cfg.WindowWidth, s.rt.cfg.Lateness, s.rt.cfg.AllowedLateness, s.rt.cfg.Horizon)}
+			s.streams[key] = st
+			s.stats.streams.Inc()
+		}
+		st.lastSeen = s.clock
+		if evict := s.rt.cfg.EvictAfter; evict > 0 && s.clock%evict == 0 {
+			if !s.sweep(evict) {
+				for range s.in {
+					s.stats.droppedFailed.Inc()
+				}
+				return
+			}
+		}
+		ws, res := st.win.Push(e)
+		switch res {
+		case PushLate:
+			s.stats.droppedLate.Inc()
+		case PushFuture:
+			s.stats.droppedFuture.Inc()
+		}
+		if !s.emit(key, st, ws) {
+			// Serving failed: keep draining so blocked producers and
+			// Close are not wedged on a full channel. The discarded
+			// events are counted, and Ingest starts rejecting new
+			// ones via the failed flag.
+			for range s.in {
+				s.stats.droppedFailed.Inc()
+			}
+			return
+		}
+	}
+	keys := make([]string, 0, len(s.streams))
+	for k := range s.streams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		st := s.streams[key]
+		if !s.emit(key, st, st.win.Flush()) {
+			return
+		}
+	}
+}
+
+// sweep flushes and frees the state of every stream that has not seen an
+// event for more than evict shard events, bounding memory under stream-key
+// churn. Run amortized (every evict events), each stream's state lives at
+// most ~2×evict events past its last activity. It reports false on a
+// serving error, like emit.
+func (s *shard) sweep(evict int64) bool {
+	var idle []string
+	for key, st := range s.streams {
+		if s.clock-st.lastSeen > evict {
+			idle = append(idle, key)
+		}
+	}
+	sort.Strings(idle)
+	for _, key := range idle {
+		st := s.streams[key]
+		if !s.emit(key, st, st.win.Flush()) {
+			return false
+		}
+		delete(s.streams, key)
+		s.stats.streamsEvicted.Inc()
+	}
+	return true
+}
+
+// emit serves closed windows one at a time — stateful mechanisms see windows
+// in stream order — and publishes every released answer tagged with the
+// stream key and per-stream window index. It reports false on the first
+// engine error, which it records for Close to surface.
+func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
+	for _, w := range ws {
+		answers, err := s.engine.ProcessWindows([]stream.Window{w})
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			s.failed.Store(true)
+			return false
+		}
+		s.stats.windowsClosed.Inc()
+		for _, a := range answers {
+			a.WindowIndex = st.next
+			s.rt.bus.publish(Answer{Stream: key, Shard: s.id, Answer: a})
+			s.stats.answersEmitted.Inc()
+		}
+		st.next++
+	}
+	return true
+}

@@ -1,0 +1,32 @@
+package runtime
+
+import (
+	"hash/fnv"
+
+	"patterndp/internal/event"
+)
+
+// Sharder routes stream keys to shards. Routing must be deterministic per
+// key so one stream is always served by the same shard — that is what keeps
+// per-stream window order intact — and implementations must be safe for
+// concurrent use by many producers.
+type Sharder interface {
+	// Shard maps a stream key to a shard index in [0, n). n is always the
+	// runtime's configured shard count, >= 1.
+	Shard(key string, n int) int
+}
+
+// HashSharder is the default Sharder: FNV-1a over the stream key. Keys
+// spread uniformly and the mapping is stable across runs and processes.
+type HashSharder struct{}
+
+// Shard implements Sharder.
+func (HashSharder) Shard(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// streamKey identifies the stream an event belongs to: its originating
+// source. Events without a source share the single default stream "".
+func streamKey(e event.Event) string { return e.Source }

@@ -1,0 +1,178 @@
+// Package runtime is the sharded streaming serving layer on top of the batch
+// PrivateEngine: a Runtime owns N shards, each wrapping its own engine and
+// mechanism with independently seeded randomness, and serves an unbounded
+// multi-stream event feed continuously instead of a pre-materialized slice.
+//
+// Events are routed to shards by stream key (a pluggable Sharder; hash of
+// Event.Source by default), so each stream is served by exactly one shard and
+// its answers are delivered in window order. Within a shard, an incremental
+// Windower cuts tumbling windows per stream as the watermark advances,
+// honoring a configurable lateness policy. Closed windows flow through the
+// shard's PrivateEngine and the released answers are published on an answer
+// bus that data consumers subscribe to per query. Ingest channels are bounded
+// with explicit backpressure (block or drop-oldest), Close drains every shard
+// gracefully, and Snapshot exposes per-shard serving counters.
+package runtime
+
+import (
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+// LatenessPolicy selects how a Windower treats out-of-order events.
+type LatenessPolicy int
+
+const (
+	// DropLate closes each window as soon as an event at or past its end
+	// arrives; events older than every open window are discarded and
+	// counted. Disorder within a still-open window is tolerated (events
+	// are sorted when the window is cut).
+	DropLate LatenessPolicy = iota
+	// ReorderBuffer holds the watermark AllowedLateness behind the highest
+	// observed timestamp, keeping windows open long enough for events up
+	// to that much out of order to be sorted into place. Events older than
+	// the watermark are still discarded and counted.
+	ReorderBuffer
+)
+
+// String names the policy for logs and flags.
+func (p LatenessPolicy) String() string {
+	switch p {
+	case DropLate:
+		return "drop"
+	case ReorderBuffer:
+		return "reorder"
+	default:
+		return "unknown"
+	}
+}
+
+// PushResult reports what a Windower did with a pushed event.
+type PushResult int
+
+const (
+	// PushAccepted means the event was assigned to an open window.
+	PushAccepted PushResult = iota
+	// PushLate means the event was older than every open window and was
+	// discarded under the lateness policy.
+	PushLate
+	// PushFuture means the event jumped further than the horizon past the
+	// stream's newest event and was discarded.
+	PushFuture
+)
+
+// Windower incrementally cuts one stream's unbounded event feed into
+// tumbling windows. It is the streaming counterpart of stream.Tumbling for
+// feeds that are not materialized as a channel or slice: Push one event at a
+// time and receive the windows it closes; Flush the trailing windows when the
+// feed ends. Like stream.Tumbling it emits empty windows for gaps, so window
+// indices stay aligned with time — the empty windows are released too, since
+// skipping them would leak which windows were empty.
+//
+// A Windower is not safe for concurrent use; in the Runtime each stream's
+// windower is owned by a single shard goroutine.
+type Windower struct {
+	width    event.Timestamp
+	policy   LatenessPolicy
+	lateness event.Timestamp
+	horizon  event.Timestamp
+
+	started   bool
+	nextStart event.Timestamp // start of the earliest still-open window
+	maxTime   event.Timestamp // highest event timestamp seen
+	pending   []event.Event   // events of still-open windows, unordered
+	dropped   int64
+}
+
+// NewWindower builds a windower cutting windows of the given width. lateness
+// is only consulted under the ReorderBuffer policy and must be non-negative.
+// horizon bounds how far past the stream's newest event one event may jump —
+// and therefore how many gap windows a single push can force; 0 disables the
+// bound.
+func NewWindower(width event.Timestamp, policy LatenessPolicy, lateness, horizon event.Timestamp) *Windower {
+	if width <= 0 {
+		panic("runtime: window width must be positive")
+	}
+	if lateness < 0 {
+		panic("runtime: allowed lateness must be non-negative")
+	}
+	if horizon < 0 {
+		panic("runtime: horizon must be non-negative")
+	}
+	return &Windower{width: width, policy: policy, lateness: lateness, horizon: horizon}
+}
+
+// watermark is the time up to which the stream is considered complete: no
+// window ending at or before it will admit further events.
+func (w *Windower) watermark() event.Timestamp {
+	if w.policy == ReorderBuffer {
+		return w.maxTime - w.lateness
+	}
+	return w.maxTime
+}
+
+// Push feeds one event and returns the windows it closed, oldest first,
+// along with whether the event was accepted or why it was discarded.
+func (w *Windower) Push(e event.Event) (closed []stream.Window, res PushResult) {
+	if w.started && w.horizon > 0 && e.Time > w.maxTime+w.horizon {
+		// A runaway timestamp would force an unbounded run of gap
+		// windows (and poison the watermark, turning every later
+		// on-time event into a late drop). Reject it instead.
+		w.dropped++
+		return nil, PushFuture
+	}
+	if !w.started {
+		w.started = true
+		w.nextStart = stream.AlignDown(e.Time, w.width)
+		w.maxTime = e.Time
+	}
+	if e.Time < w.nextStart {
+		w.dropped++
+		return nil, PushLate
+	}
+	w.pending = append(w.pending, e)
+	if e.Time > w.maxTime {
+		w.maxTime = e.Time
+	}
+	return w.cut(w.watermark()), PushAccepted
+}
+
+// Flush closes every window still holding or preceding pending events —
+// the stream's trailing windows at shutdown — and resets the windower for
+// a fresh feed.
+func (w *Windower) Flush() []stream.Window {
+	if !w.started {
+		return nil
+	}
+	out := w.cut(stream.AlignDown(w.maxTime, w.width) + w.width)
+	w.started = false
+	w.pending = nil
+	return out
+}
+
+// Dropped returns how many events were discarded — by the lateness policy
+// or by the horizon bound.
+func (w *Windower) Dropped() int64 { return w.dropped }
+
+// cut closes all windows ending at or before the given watermark, assigning
+// pending events and sorting each window into canonical stream order.
+func (w *Windower) cut(watermark event.Timestamp) []stream.Window {
+	var out []stream.Window
+	for w.nextStart+w.width <= watermark {
+		end := w.nextStart + w.width
+		cur := stream.Window{Start: w.nextStart, End: end}
+		rest := w.pending[:0]
+		for _, e := range w.pending {
+			if e.Time < end {
+				cur.Events = append(cur.Events, e)
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		w.pending = rest
+		event.SortEvents(cur.Events)
+		out = append(out, cur)
+		w.nextStart = end
+	}
+	return out
+}

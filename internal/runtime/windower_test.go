@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"testing"
+
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+func pushAll(t *testing.T, w *Windower, evs ...event.Event) []stream.Window {
+	t.Helper()
+	var out []stream.Window
+	for _, e := range evs {
+		ws, _ := w.Push(e)
+		out = append(out, ws...)
+	}
+	return out
+}
+
+func TestWindowerMatchesWindowSlice(t *testing.T) {
+	// On an in-order feed the incremental windower must agree exactly with
+	// the batch WindowSlice cut (including empty gap windows).
+	evs := []event.Event{
+		event.New("a", 1), event.New("b", 3), event.New("a", 12),
+		event.New("c", 37), event.New("a", 41),
+	}
+	w := NewWindower(10, DropLate, 0, 0)
+	got := pushAll(t, w, evs...)
+	got = append(got, w.Flush()...)
+	want := stream.WindowSlice(evs, 10)
+	if len(got) != len(want) {
+		t.Fatalf("windows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Start != want[i].Start || got[i].End != want[i].End {
+			t.Errorf("window %d = [%d,%d), want [%d,%d)", i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+		}
+		if len(got[i].Events) != len(want[i].Events) {
+			t.Errorf("window %d has %d events, want %d", i, len(got[i].Events), len(want[i].Events))
+		}
+	}
+}
+
+func TestWindowerDropLate(t *testing.T) {
+	w := NewWindower(10, DropLate, 0, 0)
+	// Event at 12 closes [0,10); the straggler at 5 must be dropped.
+	pushAll(t, w, event.New("a", 1), event.New("b", 12))
+	ws, res := w.Push(event.New("late", 5))
+	if res != PushLate || len(ws) != 0 {
+		t.Errorf("late push = (%v, %v), want PushLate", ws, res)
+	}
+	if w.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", w.Dropped())
+	}
+	// Disorder within the open window is tolerated and sorted on cut.
+	if _, res := w.Push(event.New("c", 11)); res != PushAccepted {
+		t.Error("in-window disorder rejected")
+	}
+	out := w.Flush()
+	if len(out) != 1 || len(out[1-1].Events) != 2 {
+		t.Fatalf("flush = %+v, want one window with 2 events", out)
+	}
+	if out[0].Events[0].Type != "c" || out[0].Events[1].Type != "b" {
+		t.Errorf("window not sorted: %v", out[0].Events)
+	}
+}
+
+func TestWindowerReorderBuffer(t *testing.T) {
+	w := NewWindower(10, ReorderBuffer, 5, 0)
+	// With lateness 5 the watermark trails maxTime by 5: the event at 12
+	// must NOT close [0,10) yet, so the straggler at 8 is reordered in.
+	if ws := pushAll(t, w, event.New("a", 1), event.New("b", 12)); len(ws) != 0 {
+		t.Fatalf("window closed before watermark passed: %+v", ws)
+	}
+	ws, res := w.Push(event.New("c", 8))
+	if res != PushAccepted || len(ws) != 0 {
+		t.Fatalf("straggler within lateness rejected (res=%v ws=%v)", res, ws)
+	}
+	// Watermark 15-5=10 closes [0,10) with both events in time order.
+	closed, _ := w.Push(event.New("d", 15))
+	if len(closed) != 1 {
+		t.Fatalf("closed = %+v, want one window", closed)
+	}
+	types := event.TypesOf(closed[0].Events)
+	if len(types) != 2 || types[0] != "a" || types[1] != "c" {
+		t.Errorf("window events = %v, want [a c]", types)
+	}
+	// An event older than the watermark is still dropped.
+	if _, res := w.Push(event.New("e", 3)); res != PushLate {
+		t.Error("event older than watermark accepted")
+	}
+}
+
+func TestWindowerBoundaryEvent(t *testing.T) {
+	// An event exactly on a window boundary belongs to the later window
+	// (intervals are half-open) and closes the earlier one.
+	w := NewWindower(10, DropLate, 0, 0)
+	pushAll(t, w, event.New("a", 0))
+	closed, _ := w.Push(event.New("b", 10))
+	if len(closed) != 1 || closed[0].End != 10 || len(closed[0].Events) != 1 {
+		t.Fatalf("boundary close = %+v", closed)
+	}
+	out := w.Flush()
+	if len(out) != 1 || out[0].Start != 10 || len(out[0].Events) != 1 || out[0].Events[0].Type != "b" {
+		t.Fatalf("boundary event landed in %+v, want [10,20)", out)
+	}
+}
+
+func TestWindowerNegativeTimestamps(t *testing.T) {
+	w := NewWindower(10, DropLate, 0, 0)
+	closed := pushAll(t, w, event.New("a", -15), event.New("b", -2))
+	if len(closed) != 1 || closed[0].Start != -20 || closed[0].End != -10 {
+		t.Fatalf("negative-time window = %+v, want [-20,-10)", closed)
+	}
+}
+
+func TestWindowerFlushResets(t *testing.T) {
+	w := NewWindower(10, DropLate, 0, 0)
+	w.Push(event.New("a", 5))
+	if out := w.Flush(); len(out) != 1 {
+		t.Fatalf("flush = %+v", out)
+	}
+	if out := w.Flush(); out != nil {
+		t.Errorf("second flush = %+v, want nil", out)
+	}
+	// A fresh feed can restart at an earlier time without being "late".
+	if _, res := w.Push(event.New("b", 2)); res != PushAccepted {
+		t.Error("restart after flush rejected")
+	}
+}
+
+func TestWindowerHorizon(t *testing.T) {
+	w := NewWindower(10, DropLate, 0, 100)
+	pushAll(t, w, event.New("a", 5))
+	// A runaway timestamp beyond the horizon is rejected outright...
+	ws, res := w.Push(event.New("runaway", 1_000_000))
+	if res != PushFuture || len(ws) != 0 {
+		t.Fatalf("runaway push = (%v, %v), want PushFuture", ws, res)
+	}
+	if w.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", w.Dropped())
+	}
+	// ...and must not poison the watermark: on-time events still serve.
+	if _, res := w.Push(event.New("b", 8)); res != PushAccepted {
+		t.Error("on-time event rejected after runaway")
+	}
+	// A jump within the horizon still closes (bounded) gap windows.
+	closed, res := w.Push(event.New("c", 95))
+	if res != PushAccepted || len(closed) != 9 {
+		t.Fatalf("in-horizon jump = %d windows (res=%v), want 9", len(closed), res)
+	}
+}

@@ -47,6 +47,21 @@ func (w Window) Types() map[event.Type]bool {
 	return set
 }
 
+// AlignDown returns the largest multiple of width that is <= t: the start of
+// the width-wide tumbling window containing t. It is correct for negative
+// timestamps too (Go's integer division truncates toward zero, so naive
+// division would align negative times up instead of down).
+func AlignDown(t, width event.Timestamp) event.Timestamp {
+	if width <= 0 {
+		panic("stream: alignment width must be positive")
+	}
+	start := (t / width) * width
+	if t < 0 && t%width != 0 {
+		start -= width
+	}
+	return start
+}
+
 // Tumbling cuts the event stream into consecutive non-overlapping windows of
 // the given logical-time width. Events are assigned to the window whose
 // interval contains their timestamp. Windows are emitted as soon as an event
@@ -69,10 +84,7 @@ func Tumbling(done <-chan struct{}, in Stream[event.Event], width event.Timestam
 			}
 		}
 		for e := range in {
-			start := (e.Time / width) * width
-			if e.Time < 0 && e.Time%width != 0 {
-				start -= width
-			}
+			start := AlignDown(e.Time, width)
 			if cur == nil {
 				cur = &Window{Start: start, End: start + width}
 			}
@@ -114,18 +126,9 @@ func Sliding(done <-chan struct{}, in Stream[event.Event], width, step event.Tim
 		started := false
 		for e := range in {
 			if !started {
-				nextStart = (e.Time / step) * step
-				if e.Time < 0 && e.Time%step != 0 {
-					nextStart -= step
-				}
 				// The earliest window containing e starts at
 				// e.Time - width + step, aligned down to step.
-				earliest := e.Time - width + step
-				aligned := (earliest / step) * step
-				if earliest < 0 && earliest%step != 0 {
-					aligned -= step
-				}
-				nextStart = aligned
+				nextStart = AlignDown(e.Time-width+step, step)
 				started = true
 			}
 			// Open all windows whose interval has begun.
@@ -165,7 +168,7 @@ func WindowSlice(evs []event.Event, width event.Timestamp) []Window {
 	if len(evs) == 0 {
 		return nil
 	}
-	first := (evs[0].Time / width) * width
+	first := AlignDown(evs[0].Time, width)
 	last := evs[len(evs)-1].Time
 	var out []Window
 	cur := Window{Start: first, End: first + width}

@@ -23,6 +23,24 @@
 // Algorithm 1). The internal/baseline package additionally implements the
 // w-event DP and landmark-privacy mechanisms the paper compares against, and
 // internal/experiment regenerates the paper's evaluation.
+//
+// Beyond the batch API, NewRuntime starts a sharded streaming serving layer
+// for continuous multi-tenant serving: events from many concurrent streams
+// are ingested with bounded backpressure, windowed incrementally per stream
+// under a configurable lateness policy, served through per-shard engines
+// with independent randomness, and delivered to per-query subscribers:
+//
+//	rt, _ := patterndp.NewRuntime(patterndp.RuntimeConfig{
+//		Shards:      8,
+//		WindowWidth: 10,
+//		Mechanism:   func(int) (patterndp.Mechanism, error) { return patterndp.NewUniformPPM(1.0, private) },
+//		Private:     []patterndp.PatternType{private},
+//		Targets:     []patterndp.Query{{Name: "jam", Pattern: patterndp.SeqTypes("near-hospital", "slow-speed"), Window: 10}},
+//	})
+//	answers := rt.Subscribe("jam")
+//	go func() { for a := range answers { use(a) } }()
+//	rt.Ingest(ev) // any number of producers, routed by stream key
+//	rt.Close()    // drain, flush trailing windows, close subscriptions
 package patterndp
 
 import (
@@ -30,6 +48,7 @@ import (
 	"patterndp/internal/core"
 	"patterndp/internal/dp"
 	"patterndp/internal/event"
+	"patterndp/internal/runtime"
 	"patterndp/internal/stream"
 )
 
@@ -76,7 +95,54 @@ type (
 	Engine = cep.Engine
 	// Detection is a plain engine query answer.
 	Detection = cep.Detection
+	// Runtime is the sharded streaming serving layer.
+	Runtime = runtime.Runtime
+	// RuntimeConfig parameterizes a Runtime.
+	RuntimeConfig = runtime.Config
+	// RuntimeAnswer is a released answer with serving provenance.
+	RuntimeAnswer = runtime.Answer
+	// RuntimeStats is a point-in-time snapshot of a Runtime.
+	RuntimeStats = runtime.Stats
+	// ShardStats are one shard's serving counters.
+	ShardStats = runtime.ShardStats
+	// Sharder routes stream keys to shards.
+	Sharder = runtime.Sharder
+	// HashSharder is the default stream-key hash Sharder.
+	HashSharder = runtime.HashSharder
+	// Windower incrementally cuts one stream into tumbling windows.
+	Windower = runtime.Windower
+	// LatenessPolicy selects how out-of-order events are treated.
+	LatenessPolicy = runtime.LatenessPolicy
+	// BackpressurePolicy selects what Ingest does when a shard is full.
+	BackpressurePolicy = runtime.BackpressurePolicy
+	// PushResult reports what a Windower did with a pushed event.
+	PushResult = runtime.PushResult
 )
+
+// Runtime policy constants, re-exported from internal/runtime.
+const (
+	// DropLate discards events that arrive after their window closed.
+	DropLate = runtime.DropLate
+	// ReorderBuffer delays window cuts by AllowedLateness to reorder
+	// stragglers into place.
+	ReorderBuffer = runtime.ReorderBuffer
+	// Block makes Ingest wait for shard capacity (lossless).
+	Block = runtime.Block
+	// DropOldest makes Ingest evict the oldest queued event (lossy).
+	DropOldest = runtime.DropOldest
+	// PushAccepted, PushLate, and PushFuture are the Windower.Push results.
+	PushAccepted = runtime.PushAccepted
+	PushLate     = runtime.PushLate
+	PushFuture   = runtime.PushFuture
+)
+
+// ErrRuntimeClosed is returned by Runtime.Ingest and Runtime.Close after the
+// runtime has closed.
+var ErrRuntimeClosed = runtime.ErrClosed
+
+// ErrShardFailed is returned (wrapped) by Runtime.Ingest when the target
+// shard stopped serving after an engine error; Close reports the cause.
+var ErrShardFailed = runtime.ErrShardFailed
 
 // NewEvent constructs an event of the given type at the given logical time.
 func NewEvent(t EventType, ts Timestamp) Event { return event.New(t, ts) }
@@ -150,6 +216,19 @@ func NewPrivateEngine(m Mechanism, private []PatternType, seed int64) (*PrivateE
 
 // NewEngine returns a plain (non-private) CEP engine.
 func NewEngine() *Engine { return cep.NewEngine() }
+
+// NewRuntime validates the configuration, builds the shards — each with its
+// own mechanism instance and independently seeded engine — and starts
+// serving. See RuntimeConfig for the knobs and their defaults.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return runtime.New(cfg) }
+
+// NewWindower builds an incremental tumbling windower for one stream — the
+// streaming counterpart of WindowSlice. lateness is only consulted under the
+// ReorderBuffer policy; horizon bounds how far one event may jump past the
+// stream's newest event (0 disables the bound).
+func NewWindower(width Timestamp, policy LatenessPolicy, lateness, horizon Timestamp) *Windower {
+	return runtime.NewWindower(width, policy, lateness, horizon)
+}
 
 // WindowSlice batches a time-ordered event slice into tumbling windows.
 func WindowSlice(evs []Event, width Timestamp) []Window {

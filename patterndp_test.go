@@ -1,6 +1,8 @@
 package patterndp
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -88,6 +90,83 @@ func TestPublicAdaptivePath(t *testing.T) {
 	}
 	if ppm.TotalEpsilon() != 1 {
 		t.Error("budget lost")
+	}
+}
+
+// TestPublicRuntimeEndToEnd exercises the streaming serving layer through
+// the public surface only: concurrent producers, per-query subscription,
+// graceful drain, and the snapshot counters.
+func TestPublicRuntimeEndToEnd(t *testing.T) {
+	private, err := NewPatternType("hospital-trip", "enter-taxi", "near-hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(RuntimeConfig{
+		Shards:      4,
+		WindowWidth: 10,
+		Mechanism: func(int) (Mechanism, error) {
+			return NewUniformPPM(40, private) // huge budget: near-deterministic
+		},
+		Private: []PatternType{private},
+		Targets: []Query{{
+			Name:    "traffic-jam",
+			Pattern: SeqTypes("near-hospital", "slow-speed"),
+			Window:  10,
+		}},
+		Seed:     1,
+		Lateness: ReorderBuffer, AllowedLateness: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := rt.Subscribe("traffic-jam")
+	detected := make(map[string][]bool)
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range sub {
+			detected[a.Stream] = append(detected[a.Stream], a.Detected)
+		}
+	}()
+	const streams = 4
+	var producers sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		producers.Add(1)
+		go func(i int) {
+			defer producers.Done()
+			key := fmt.Sprintf("taxi-%d", i)
+			for _, e := range []Event{
+				NewEvent("near-hospital", 3).WithSource(key),
+				NewEvent("slow-speed", 5).WithSource(key),
+				NewEvent("enter-taxi", 12).WithSource(key),
+			} {
+				if err := rt.Ingest(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	producers.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Wait()
+	if len(detected) != streams {
+		t.Fatalf("streams answered = %d, want %d", len(detected), streams)
+	}
+	for key, ds := range detected {
+		if len(ds) != 2 || !ds[0] || ds[1] {
+			t.Errorf("stream %s detections = %v, want [true false]", key, ds)
+		}
+	}
+	tot := rt.Snapshot().Totals()
+	if tot.EventsIn != 3*streams || tot.WindowsClosed != 2*streams {
+		t.Errorf("totals = %+v", tot)
+	}
+	if err := rt.Ingest(NewEvent("x", 1)); err != ErrRuntimeClosed {
+		t.Errorf("Ingest after Close = %v, want ErrRuntimeClosed", err)
 	}
 }
 
