@@ -15,6 +15,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"patterndp/internal/baseline"
 	"patterndp/internal/cep"
@@ -304,11 +305,14 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sub := rt.Subscribe("")
+				sub, err := rt.Subscribe("")
+				if err != nil {
+					b.Fatal(err)
+				}
 				drained := make(chan struct{})
 				go func() {
 					defer close(drained)
-					for range sub {
+					for range sub.C() {
 					}
 				}()
 				var producers sync.WaitGroup
@@ -332,6 +336,99 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
+}
+
+// BenchmarkRegisterChurn measures ingest throughput while the control plane
+// churns at 10 registrations per second: a probe query is registered and
+// unregistered on a ticker concurrently with the producers, so every epoch
+// bump exercises the window-boundary apply path on each shard. Compare the
+// events/s metric against BenchmarkRuntimeThroughput to see the cost of
+// live reconfiguration.
+func BenchmarkRegisterChurn(b *testing.B) {
+	ds, err := synth.Generate(synth.DefaultConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	scfg := ds.Config
+	base := ds.Events()
+	private := ds.PrivateTypes()
+	targets := ds.TargetQueries()
+	const streams = 8
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := runtime.New(runtime.Config{
+			Shards:      4,
+			WindowWidth: scfg.WindowWidth,
+			MechanismFor: func(_ int, private []core.PatternType) (core.Mechanism, error) {
+				return core.NewUniformPPM(1, private...)
+			},
+			Private: private,
+			Targets: targets,
+			Seed:    int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub, err := rt.Subscribe("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range sub.C() {
+			}
+		}()
+		// 10 registrations/s of churn for the life of this iteration.
+		churnStop := make(chan struct{})
+		churnDone := make(chan struct{})
+		go func() {
+			defer close(churnDone)
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			probe := cep.Query{Name: "probe", Pattern: targets[0].Pattern, Window: scfg.WindowWidth}
+			registered := false
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+				}
+				var err error
+				if registered {
+					_, err = rt.UnregisterQuery(probe)
+				} else {
+					_, err = rt.RegisterQuery(probe)
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				registered = !registered
+			}
+		}()
+		var producers sync.WaitGroup
+		for s := 0; s < streams; s++ {
+			producers.Add(1)
+			go func(s int) {
+				defer producers.Done()
+				key := fmt.Sprintf("stream-%d", s)
+				for _, e := range base {
+					rt.Ingest(e.WithSource(key))
+				}
+			}(s)
+		}
+		producers.Wait()
+		close(churnStop)
+		<-churnDone
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+		<-drained
+		total += streams * len(base)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkPrivateEngineProcess measures the end-to-end service phase.

@@ -1,11 +1,14 @@
 // Command ppmserve demonstrates the sharded streaming runtime: it replays
 // synthetic traffic (Algorithm 2) across many concurrent streams, serves the
 // dataset's target queries behind the uniform PPM, and prints throughput and
-// the per-shard serving counters.
+// the per-shard serving counters. With -churn it also exercises the dynamic
+// control plane, registering and unregistering a probe query at the given
+// rate while traffic flows.
 //
 // Usage:
 //
 //	ppmserve -shards 8 -streams 32 -windows 500 -eps 1.0 -backpressure block
+//	ppmserve -churn 10
 package main
 
 import (
@@ -14,7 +17,9 @@ import (
 	"os"
 	"sync"
 	"text/tabwriter"
+	"time"
 
+	"patterndp/internal/cep"
 	"patterndp/internal/core"
 	"patterndp/internal/dp"
 	"patterndp/internal/event"
@@ -33,15 +38,16 @@ func main() {
 		bp       = flag.String("backpressure", "block", "backpressure policy: block | drop-oldest")
 		lateness = flag.Int64("lateness", 0, "allowed lateness (>0 enables the reorder buffer)")
 		horizon  = flag.Int64("horizon", 0, "max forward timestamp jump per stream (0 = unbounded)")
+		churn    = flag.Float64("churn", 0, "control-plane churn: probe-query (un)registrations per second")
 	)
 	flag.Parse()
-	if err := run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon); err != nil {
+	if err := run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn); err != nil {
 		fmt.Fprintln(os.Stderr, "ppmserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64) error {
+func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64) error {
 	scfg := synth.DefaultConfig(seed)
 	scfg.NumWindows = windows
 	ds, err := synth.Generate(scfg)
@@ -54,7 +60,9 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	cfg := runtime.Config{
 		Shards:      shards,
 		WindowWidth: scfg.WindowWidth,
-		Mechanism: func(int) (core.Mechanism, error) {
+		// The set-aware factory keeps the budget split coherent across
+		// control-plane epochs (and enables RegisterPrivate).
+		MechanismFor: func(_ int, private []core.PatternType) (core.Mechanism, error) {
 			return core.NewUniformPPM(dp.Epsilon(eps), private...)
 		},
 		Private:     private,
@@ -90,17 +98,53 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	var consumers sync.WaitGroup
 	for qi, q := range cfg.Targets {
 		// Subscribe before any producer starts so no answer is missed.
-		sub := rt.Subscribe(q.Name)
+		sub, err := rt.Subscribe(q.Name)
+		if err != nil {
+			return err
+		}
 		consumers.Add(1)
 		go func(qi int) {
 			defer consumers.Done()
-			for a := range sub {
+			for a := range sub.C() {
 				tallies[qi].answers++
 				if a.Detected {
 					tallies[qi].detected++
 				}
 			}
 		}(qi)
+	}
+
+	// Control-plane churn: register and unregister a probe query at the
+	// requested rate while traffic flows, bumping the epoch each time.
+	churnStop := make(chan struct{})
+	var churner sync.WaitGroup
+	if churn > 0 {
+		probe := cep.Query{Name: "churn-probe", Pattern: ds.TargetQueries()[0].Pattern, Window: scfg.WindowWidth}
+		tick := time.NewTicker(time.Duration(float64(time.Second) / churn))
+		churner.Add(1)
+		go func() {
+			defer churner.Done()
+			defer tick.Stop()
+			registered := false
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+				}
+				var err error
+				if registered {
+					_, err = rt.UnregisterQuery(probe)
+				} else {
+					_, err = rt.RegisterQuery(probe)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "churn:", err)
+					return
+				}
+				registered = !registered
+			}
+		}()
 	}
 
 	// One producer per stream, replaying the synthetic feed under its own
@@ -120,6 +164,8 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 		}(i)
 	}
 	producers.Wait()
+	close(churnStop)
+	churner.Wait()
 	// Keep the Close error for after the report: on a shard failure the
 	// counters below are exactly what explains it.
 	closeErr := rt.Close()
@@ -128,6 +174,20 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	st := rt.Snapshot()
 	tot := st.Totals()
 	fmt.Printf("\nserved %d events in %v — %.0f events/s\n", tot.EventsIn, st.Uptime.Round(1000000), st.Throughput())
+	if churn > 0 {
+		// Idle shards never reach a window boundary and so never apply an
+		// epoch; report convergence over the shards that actually served.
+		applied, first := runtime.Epoch(0), true
+		for _, s := range st.Shards {
+			if s.EventsIn == 0 {
+				continue
+			}
+			if first || s.Epoch < applied {
+				applied, first = s.Epoch, false
+			}
+		}
+		fmt.Printf("control-plane epochs: %d (slowest serving shard applied %d)\n", st.Epoch, applied)
+	}
 	bal := st.Balance()
 	fmt.Printf("shard balance: mean %.0f events/shard, stddev %.0f, min %.0f, max %.0f\n",
 		bal.Mean, bal.StdDev, bal.Min, bal.Max)

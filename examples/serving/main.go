@@ -1,7 +1,10 @@
-// Example serving demonstrates the streaming runtime through the public API:
-// three smart-home tenants stream sensor events concurrently into a sharded
-// runtime; each tenant's "leave home" pattern is protected by the uniform
-// PPM while a consumer watches an "energy waste" target query live.
+// Example serving demonstrates the streaming runtime and its dynamic control
+// plane through the public API: three smart-home tenants stream sensor
+// events concurrently into a sharded runtime while registrations churn —
+// a new tenant registers a private pattern type mid-serve, a consumer
+// registers a target query, subscribes, cancels the subscription, and
+// unregisters the query — all without restarting, and every answer carries
+// the control-plane epoch it was served under.
 package main
 
 import (
@@ -28,8 +31,11 @@ func run() error {
 	rt, err := patterndp.NewRuntime(patterndp.RuntimeConfig{
 		Shards:      2,
 		WindowWidth: 10,
-		Mechanism: func(int) (patterndp.Mechanism, error) {
-			return patterndp.NewUniformPPM(2.0, private)
+		// The set-aware factory is re-invoked whenever the private set
+		// changes, so the budget split always covers the live set — it is
+		// what makes RegisterPrivate available.
+		MechanismFor: func(_ int, private []patterndp.PatternType) (patterndp.Mechanism, error) {
+			return patterndp.NewUniformPPM(4.0, private...)
 		},
 		Private: []patterndp.PatternType{private},
 		Targets: []patterndp.Query{{
@@ -46,10 +52,14 @@ func run() error {
 		return err
 	}
 
-	answers := rt.Subscribe("energy-waste")
+	sub, err := rt.Subscribe("energy-waste")
+	if err != nil {
+		return err
+	}
 	type result struct {
 		stream   string
 		window   int
+		epoch    patterndp.Epoch
 		detected bool
 	}
 	var got []result
@@ -57,8 +67,8 @@ func run() error {
 	consumer.Add(1)
 	go func() {
 		defer consumer.Done()
-		for a := range answers {
-			got = append(got, result{a.Stream, a.WindowIndex, a.Detected})
+		for a := range sub.C() {
+			got = append(got, result{a.Stream, a.WindowIndex, a.Epoch, a.Detected})
 		}
 	}()
 
@@ -97,6 +107,61 @@ func run() error {
 		}(key, evs)
 	}
 	producers.Wait()
+
+	// --- Control plane, while serving continues -------------------------
+
+	// A fourth tenant joins: its "vacation" routine becomes private. Each
+	// shard rebuilds its mechanism over the grown set at its next window
+	// boundary; the registration is stamped with a fresh epoch.
+	vacation, err := patterndp.NewPatternType("vacation", "door-lock", "thermostat-off")
+	if err != nil {
+		return err
+	}
+	ep, err := rt.RegisterPrivate(vacation)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered private %q at epoch %d\n", vacation.Name, ep)
+
+	// A consumer registers a second query, watches a few windows, then
+	// cancels its subscription and retires the query — no restart.
+	nightQ := patterndp.Query{
+		Name:    "night-heating",
+		Pattern: patterndp.AndOf(patterndp.E("thermostat-off"), patterndp.E("heater-on")),
+		Window:  10,
+	}
+	ep, err = rt.RegisterQuery(nightQ)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered query %q at epoch %d\n", nightQ.Name, ep)
+	nightSub, err := rt.Subscribe("night-heating")
+	if err != nil {
+		return err
+	}
+
+	for _, e := range []patterndp.Event{
+		patterndp.NewEvent("thermostat-off", 21),
+		patterndp.NewEvent("heater-on", 24),
+		patterndp.NewEvent("door-lock", 27),
+		patterndp.NewEvent("door-open", 35), // advances the watermark past the window
+	} {
+		if err := rt.Ingest(e.WithSource("home-d")); err != nil {
+			return err
+		}
+	}
+	// Watch the first released answer, then cancel the subscription
+	// (freeing it from the bus immediately) and unregister the query.
+	night := <-nightSub.C()
+	fmt.Printf("night-heating %s window %d (epoch %d): detected=%t\n",
+		night.Stream, night.WindowIndex, night.Epoch, night.Detected)
+	nightSub.Cancel()
+	if ep, err = rt.UnregisterQuery(nightQ); err != nil {
+		return err
+	}
+	fmt.Printf("unregistered query %q at epoch %d (subscription err: %v)\n",
+		nightQ.Name, ep, nightSub.Err())
+
 	if err := rt.Close(); err != nil {
 		return err
 	}
@@ -110,10 +175,10 @@ func run() error {
 	})
 	fmt.Println("energy-waste answers (protected):")
 	for _, r := range got {
-		fmt.Printf("  %s window %d: detected=%t\n", r.stream, r.window, r.detected)
+		fmt.Printf("  %s window %d (epoch %d): detected=%t\n", r.stream, r.window, r.epoch, r.detected)
 	}
 	tot := rt.Snapshot().Totals()
-	fmt.Printf("served %d events over %d streams in %d windows\n",
-		tot.EventsIn, tot.Streams, tot.WindowsClosed)
+	fmt.Printf("served %d events over %d streams in %d windows, final epoch %d\n",
+		tot.EventsIn, tot.Streams, tot.WindowsClosed, rt.Epoch())
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -11,6 +12,10 @@ import (
 	"patterndp/internal/event"
 	"patterndp/internal/stream"
 )
+
+// ErrUnknownTarget is returned (wrapped, with the query name) by
+// UnregisterTarget when no target query with that name is registered.
+var ErrUnknownTarget = errors.New("core: unknown target query")
 
 // Answer is one privacy-protected query answer delivered to a data consumer:
 // the window it refers to and the released binary detection.
@@ -42,8 +47,14 @@ type PrivateEngine struct {
 	mechanism Mechanism
 	private   []PatternType
 	targets   map[string]cep.Query
-	seed      int64
-	calls     atomic.Int64
+	// snap is an immutable, name-sorted snapshot of targets, rebuilt on
+	// every registration change. The service phase reads the snapshot with
+	// one RLock instead of copying and sorting the map per call, and a
+	// whole ProcessWindows batch is answered against one consistent target
+	// set even while registrations churn.
+	snap  []cep.Query
+	seed  int64
+	calls atomic.Int64
 }
 
 // NewPrivateEngine builds an engine around the given mechanism and the
@@ -102,7 +113,8 @@ func (pe *PrivateEngine) callRNG() *rand.Rand {
 	return rand.New(&splitmix64Source{state: uint64(MixSeed(pe.seed, n))})
 }
 
-// RegisterTarget adds a data consumer's target query.
+// RegisterTarget adds a data consumer's target query, replacing any
+// registered query with the same name.
 func (pe *PrivateEngine) RegisterTarget(q cep.Query) error {
 	if err := q.Validate(); err != nil {
 		return err
@@ -110,18 +122,70 @@ func (pe *PrivateEngine) RegisterTarget(q cep.Query) error {
 	pe.mu.Lock()
 	defer pe.mu.Unlock()
 	pe.targets[q.Name] = q
+	pe.rebuildSnapshot()
 	return nil
 }
 
-// Targets returns the registered target queries sorted by name.
-func (pe *PrivateEngine) Targets() []cep.Query {
-	pe.mu.RLock()
-	defer pe.mu.RUnlock()
+// UnregisterTarget removes the named target query, e.g. when a data consumer
+// cancels it. It returns ErrUnknownTarget (wrapped) when no such query is
+// registered. Service calls already in flight keep answering against the
+// snapshot they started with; later calls no longer see the query.
+func (pe *PrivateEngine) UnregisterTarget(name string) error {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if _, ok := pe.targets[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTarget, name)
+	}
+	delete(pe.targets, name)
+	pe.rebuildSnapshot()
+	return nil
+}
+
+// SetTargets replaces the whole registered target set in one step — the
+// bulk form of RegisterTarget/UnregisterTarget for callers that maintain the
+// desired set elsewhere (the streaming runtime's control plane does). The
+// snapshot is rebuilt once, so applying an epoch with n queries costs one
+// sort instead of n.
+func (pe *PrivateEngine) SetTargets(qs []cep.Query) error {
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			return err
+		}
+	}
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	pe.targets = make(map[string]cep.Query, len(qs))
+	for _, q := range qs {
+		pe.targets[q.Name] = q
+	}
+	pe.rebuildSnapshot()
+	return nil
+}
+
+// rebuildSnapshot rematerializes the sorted target snapshot; callers hold
+// pe.mu.
+func (pe *PrivateEngine) rebuildSnapshot() {
 	out := make([]cep.Query, 0, len(pe.targets))
 	for _, q := range pe.targets {
 		out = append(out, q)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	pe.snap = out
+}
+
+// snapshot returns the current target snapshot. The returned slice is shared
+// and must not be modified.
+func (pe *PrivateEngine) snapshot() []cep.Query {
+	pe.mu.RLock()
+	defer pe.mu.RUnlock()
+	return pe.snap
+}
+
+// Targets returns the registered target queries sorted by name.
+func (pe *PrivateEngine) Targets() []cep.Query {
+	snap := pe.snapshot()
+	out := make([]cep.Query, len(snap))
+	copy(out, snap)
 	return out
 }
 
@@ -154,7 +218,7 @@ func (pe *PrivateEngine) relevantTypes(targets []cep.Query) []event.Type {
 // indicators with the mechanism, then answer every target query on the
 // released indicators. Answers are ordered by window then query name.
 func (pe *PrivateEngine) ProcessWindows(ws []stream.Window) ([]Answer, error) {
-	targets := pe.Targets()
+	targets := pe.snapshot()
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("core: no target queries registered")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"patterndp/internal/cep"
@@ -87,6 +88,65 @@ func TestPrivateEngineTargetsSorted(t *testing.T) {
 	ts := pe.Targets()
 	if len(ts) != 2 || ts[0].Name != "aa" {
 		t.Errorf("Targets = %v", ts)
+	}
+	// Targets returns a copy: mutating it must not corrupt the snapshot.
+	ts[0] = cep.Query{Name: "mutated"}
+	if pe.Targets()[0].Name != "aa" {
+		t.Error("Targets exposed the internal snapshot")
+	}
+}
+
+func TestPrivateEngineUnregisterTarget(t *testing.T) {
+	pt := mustPT(t, "priv", "a")
+	pe, _ := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
+	pe.RegisterTarget(cep.Query{Name: "keep", Pattern: cep.E("a"), Window: 10})
+	pe.RegisterTarget(cep.Query{Name: "drop", Pattern: cep.E("a"), Window: 10})
+
+	if err := pe.UnregisterTarget("drop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.UnregisterTarget("drop"); !errors.Is(err, ErrUnknownTarget) {
+		t.Errorf("double unregister = %v, want ErrUnknownTarget", err)
+	}
+	if ts := pe.Targets(); len(ts) != 1 || ts[0].Name != "keep" {
+		t.Fatalf("Targets after unregister = %v", ts)
+	}
+	answers, err := pe.ProcessEvents([]event.Event{event.New("a", 1)}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || answers[0].Query != "keep" {
+		t.Errorf("answers after unregister = %+v, want only %q", answers, "keep")
+	}
+	// Removing the last target makes the service phase reject, like an
+	// engine that never had targets.
+	if err := pe.UnregisterTarget("keep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pe.ProcessWindows([]stream.Window{{}}); err == nil {
+		t.Error("processing with all targets unregistered accepted")
+	}
+}
+
+func TestPrivateEngineSetTargets(t *testing.T) {
+	pt := mustPT(t, "priv", "a")
+	pe, _ := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
+	pe.RegisterTarget(cep.Query{Name: "old", Pattern: cep.E("a"), Window: 10})
+	if err := pe.SetTargets([]cep.Query{
+		{Name: "zz", Pattern: cep.E("a"), Window: 10},
+		{Name: "aa", Pattern: cep.E("b"), Window: 10},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := pe.Targets()
+	if len(ts) != 2 || ts[0].Name != "aa" || ts[1].Name != "zz" {
+		t.Fatalf("Targets after SetTargets = %v", ts)
+	}
+	if err := pe.SetTargets([]cep.Query{{Name: "", Pattern: cep.E("a"), Window: 10}}); err == nil {
+		t.Error("invalid replacement set accepted")
+	}
+	if len(pe.Targets()) != 2 {
+		t.Error("failed SetTargets mutated the target set")
 	}
 }
 

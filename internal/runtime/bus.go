@@ -1,69 +1,200 @@
 package runtime
 
 import (
+	"errors"
 	"sync"
 
 	"patterndp/internal/core"
 )
 
 // Answer is one released query answer enriched with serving provenance: the
-// stream key the window was cut from and the shard that served it.
-// WindowIndex counts windows per stream feed, so answers for one stream
-// arrive in strictly increasing window order — until the stream is evicted
-// under Config.EvictAfter, after which a returning stream starts a fresh
-// feed with WindowIndex 0.
+// stream key the window was cut from, the shard that served it, and the
+// control-plane epoch it was served under — the epoch's query and private
+// sets are exactly the ones that produced the answer. WindowIndex counts
+// windows per stream feed, so answers for one stream arrive in strictly
+// increasing window order — until the stream is evicted under
+// Config.EvictAfter, after which a returning stream starts a fresh feed with
+// WindowIndex 0.
 type Answer struct {
 	// Stream is the key of the stream the window belongs to.
 	Stream string
 	// Shard is the index of the shard that served the window.
 	Shard int
+	// Epoch is the control-plane epoch the window was served under.
+	Epoch Epoch
 	core.Answer
 }
 
+// ErrSubscriptionCancelled is reported by Subscription.Err after the
+// subscriber itself cancelled the subscription.
+var ErrSubscriptionCancelled = errors.New("runtime: subscription cancelled")
+
+// Subscription is one consumer's handle on a query's released answers.
+// Receive from C until it closes; Cancel detaches early. A subscription
+// whose buffer fills backpressures serving, so either drain C until it
+// closes or Cancel.
+type Subscription struct {
+	query string
+	bus   *bus
+	ch    chan Answer
+	// done is closed before ch so an in-flight publish blocked on a full
+	// buffer aborts instead of racing the channel close.
+	done chan struct{}
+	once sync.Once
+
+	// sendMu serializes deliveries against the channel close; it is held
+	// across a blocking send, so nothing else may wait on it while holding
+	// stateMu.
+	sendMu sync.Mutex
+	// stateMu guards closed and err only, so status reads (Err) never
+	// block behind a backpressured delivery.
+	stateMu sync.Mutex
+	closed  bool
+	err     error
+}
+
+// C returns the answer channel. It closes after Cancel (once any buffered
+// answers are drained) or when the runtime closes.
+func (s *Subscription) C() <-chan Answer { return s.ch }
+
+// Query returns the query name the subscription was opened for ("" for the
+// subscribe-all subscription).
+func (s *Subscription) Query() string { return s.query }
+
+// Cancel detaches the subscription from the answer bus and closes its
+// channel, releasing its resources; answers already buffered can still be
+// drained from C. Cancel is idempotent and safe to call concurrently with
+// delivery — an answer being delivered at that instant is either buffered or
+// discarded, never lost mid-send.
+func (s *Subscription) Cancel() {
+	s.bus.remove(s)
+	s.terminate(ErrSubscriptionCancelled)
+}
+
+// Err reports why delivery stopped: nil while the subscription is live and
+// after the runtime closed it on Close (normal end of stream), or
+// ErrSubscriptionCancelled after Cancel.
+func (s *Subscription) Err() error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.err
+}
+
+// terminate closes the subscription exactly once, recording err as the
+// reason. done is closed before taking sendMu so a sender blocked inside
+// send (which holds sendMu) is released before the channel close waits on
+// the lock.
+func (s *Subscription) terminate(err error) {
+	s.once.Do(func() {
+		close(s.done)
+		s.sendMu.Lock()
+		s.stateMu.Lock()
+		s.err = err
+		s.closed = true
+		s.stateMu.Unlock()
+		close(s.ch)
+		s.sendMu.Unlock()
+	})
+}
+
+// send delivers one answer, blocking while the buffer is full — that is the
+// delivery-side backpressure. Holding sendMu across the send is what makes
+// Cancel safe: terminate can only close the channel between sends, and a
+// blocked send is first released via done.
+func (s *Subscription) send(a Answer) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	s.stateMu.Lock()
+	closed := s.closed
+	s.stateMu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case s.ch <- a:
+	case <-s.done:
+	}
+}
+
 // bus fans released answers out to per-query subscribers. Publishing blocks
-// when a subscriber's buffer is full — that is the delivery-side
-// backpressure; consumers must drain their channels until closed.
+// when a subscriber's buffer is full; consumers must drain or cancel.
 type bus struct {
 	mu     sync.RWMutex
 	buffer int
-	subs   map[string][]chan Answer // query name → subscribers; "" receives all
+	subs   map[string]map[*Subscription]struct{} // query name → subscribers; "" receives all
 	closed bool
 }
 
 func newBus(buffer int) *bus {
-	return &bus{buffer: buffer, subs: make(map[string][]chan Answer)}
+	return &bus{buffer: buffer, subs: make(map[string]map[*Subscription]struct{})}
 }
 
-// subscribe registers a new subscriber for the named query ("" for every
-// query). After the bus has closed it returns an already-closed channel.
-func (b *bus) subscribe(query string) <-chan Answer {
+// add registers a new subscriber for the named query ("" for every query).
+// After the bus has closed the returned subscription is already terminated.
+func (b *bus) add(query string) *Subscription {
+	s := &Subscription{
+		query: query,
+		bus:   b,
+		ch:    make(chan Answer, b.buffer),
+		done:  make(chan struct{}),
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	ch := make(chan Answer, b.buffer)
 	if b.closed {
-		close(ch)
-		return ch
+		s.terminate(nil)
+		return s
 	}
-	b.subs[query] = append(b.subs[query], ch)
-	return ch
+	set := b.subs[query]
+	if set == nil {
+		set = make(map[*Subscription]struct{})
+		b.subs[query] = set
+	}
+	set[s] = struct{}{}
+	return s
+}
+
+// remove detaches a subscription so it can be garbage collected and no
+// longer stalls publishing. Removing an already-removed subscription is a
+// no-op.
+func (b *bus) remove(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if set := b.subs[s.query]; set != nil {
+		delete(set, s)
+		if len(set) == 0 {
+			delete(b.subs, s.query)
+		}
+	}
+}
+
+// subscribers counts the live subscriptions for one query name.
+func (b *bus) subscribers(query string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs[query])
 }
 
 // publish delivers an answer to the query's subscribers and to the
-// subscribe-all set. Sends happen outside the lock so a slow subscriber
-// stalls publishers but never blocks new subscriptions.
+// subscribe-all set. Sends happen outside the bus lock so a slow subscriber
+// stalls publishers but never blocks new subscriptions or cancellations.
 func (b *bus) publish(a Answer) {
 	b.mu.RLock()
-	targets := make([]chan Answer, 0, len(b.subs[a.Query])+len(b.subs[""]))
-	targets = append(targets, b.subs[a.Query]...)
-	targets = append(targets, b.subs[""]...)
+	targets := make([]*Subscription, 0, len(b.subs[a.Query])+len(b.subs[""]))
+	for s := range b.subs[a.Query] {
+		targets = append(targets, s)
+	}
+	for s := range b.subs[""] {
+		targets = append(targets, s)
+	}
 	b.mu.RUnlock()
-	for _, ch := range targets {
-		ch <- a
+	for _, s := range targets {
+		s.send(a)
 	}
 }
 
-// close closes every subscriber channel. The runtime only calls it after all
-// shards have drained, so no publish can be in flight.
+// close terminates every remaining subscription with a nil reason (normal
+// end of stream). The runtime only calls it after all shards have drained,
+// so no publish can be in flight.
 func (b *bus) close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -71,9 +202,10 @@ func (b *bus) close() {
 		return
 	}
 	b.closed = true
-	for _, chans := range b.subs {
-		for _, ch := range chans {
-			close(ch)
+	for _, set := range b.subs {
+		for s := range set {
+			s.terminate(nil)
 		}
 	}
+	b.subs = make(map[string]map[*Subscription]struct{})
 }

@@ -1,0 +1,251 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/core"
+)
+
+// Epoch numbers control-plane states. Every successful registration change
+// (private pattern types or target queries) produces the next epoch; shards
+// apply epochs only at per-stream window boundaries, and every released
+// answer carries the epoch it was served under, so consumers can always map
+// an answer back to the exact registration state that produced it.
+type Epoch uint64
+
+// ErrUnknownQuery is returned (wrapped, with the query name) by Subscribe
+// and UnregisterQuery when no target query with that name is registered.
+var ErrUnknownQuery = errors.New("runtime: unknown query")
+
+// ErrUnknownPrivate is returned (wrapped, with the type name) by
+// UnregisterPrivate when no private pattern type with that name is
+// registered.
+var ErrUnknownPrivate = errors.New("runtime: unknown private pattern type")
+
+// ErrLastPrivate is returned by UnregisterPrivate when removing the type
+// would leave the runtime with nothing to protect: a serving layer with an
+// empty private set would release raw indicators, so the last type can only
+// be retired by closing the runtime.
+var ErrLastPrivate = errors.New("runtime: cannot unregister the last private pattern type")
+
+// ErrStaticMechanism is returned by RegisterPrivate when the runtime was
+// built with only the static Mechanism factory: a mechanism constructed
+// without knowledge of the new type would release its elements unperturbed.
+// Configure MechanismFor to serve a dynamic private set.
+var ErrStaticMechanism = errors.New("runtime: RegisterPrivate requires Config.MechanismFor")
+
+// controlState is one immutable epoch of the control plane: the private
+// pattern types and target queries in force. States are copy-on-write —
+// every mutation publishes a fresh state, so shards and subscribers read a
+// consistent registration set with one atomic load.
+type controlState struct {
+	// epoch is this state's sequence number (0 is the construction state).
+	epoch Epoch
+	// privEpoch is the epoch at which the private set last changed. Shards
+	// rebuild mechanism and engine only when it moves; query-only epochs
+	// adjust the live engine's target set in place, preserving mechanism
+	// state.
+	privEpoch Epoch
+	// private are the protected pattern types, sorted by name.
+	private []core.PatternType
+	// targets are the registered target queries, sorted by name.
+	targets []cep.Query
+	// queries indexes targets by name.
+	queries map[string]bool
+}
+
+// newControlState builds the construction-time epoch 0 from a validated
+// config. Names are the control-plane identity, so duplicates in the config
+// collapse last-wins — exactly what registering the same name twice would
+// leave behind.
+func newControlState(private []core.PatternType, targets []cep.Query) *controlState {
+	st := &controlState{}
+	byType := make(map[string]core.PatternType, len(private))
+	for _, pt := range private {
+		byType[pt.Name] = pt
+	}
+	for _, pt := range byType {
+		st.private = append(st.private, pt)
+	}
+	sort.Slice(st.private, func(i, j int) bool { return st.private[i].Name < st.private[j].Name })
+	byQuery := make(map[string]cep.Query, len(targets))
+	for _, q := range targets {
+		byQuery[q.Name] = q
+	}
+	st.queries = make(map[string]bool, len(byQuery))
+	for name, q := range byQuery {
+		st.targets = append(st.targets, q)
+		st.queries[name] = true
+	}
+	sort.Slice(st.targets, func(i, j int) bool { return st.targets[i].Name < st.targets[j].Name })
+	return st
+}
+
+// clone copies the state so a mutation never aliases a published epoch.
+func (st *controlState) clone() *controlState {
+	next := &controlState{
+		epoch:     st.epoch,
+		privEpoch: st.privEpoch,
+		private:   append([]core.PatternType(nil), st.private...),
+		targets:   append([]cep.Query(nil), st.targets...),
+		queries:   make(map[string]bool, len(st.queries)),
+	}
+	for name := range st.queries {
+		next.queries[name] = true
+	}
+	return next
+}
+
+// mutate serializes one control-plane change: it clones the current state,
+// stamps the next epoch, applies f, and publishes the result. Failed
+// mutations consume no epoch. The returned epoch is the one the change took
+// effect under. The closed check and the publish share one rt.mu read
+// section, so a mutation racing Close either lands before the drain starts —
+// and is applied by every shard's drain flush — or fails with ErrClosed;
+// it can never report success for an epoch no shard will ever serve.
+func (rt *Runtime) mutate(f func(*controlState) error) (Epoch, error) {
+	rt.ctlMu.Lock()
+	defer rt.ctlMu.Unlock()
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.closed {
+		return 0, ErrClosed
+	}
+	next := rt.ctl.Load().clone()
+	next.epoch++
+	if err := f(next); err != nil {
+		return 0, err
+	}
+	rt.ctl.Store(next)
+	return next.epoch, nil
+}
+
+// RegisterPrivate registers a data subject's private pattern type while
+// serving, replacing any registered type with the same name. It requires the
+// set-aware MechanismFor factory — see ErrStaticMechanism. The change takes
+// effect per shard at the next window boundary, when the shard rebuilds its
+// mechanism over the new private set; windows already being served are
+// finished under their old epoch, so no window is ever protected by a
+// half-applied state.
+func (rt *Runtime) RegisterPrivate(pt core.PatternType) (Epoch, error) {
+	if rt.cfg.MechanismFor == nil {
+		return 0, ErrStaticMechanism
+	}
+	valid, err := core.NewPatternType(pt.Name, pt.Elements...)
+	if err != nil {
+		return 0, err
+	}
+	return rt.mutate(func(st *controlState) error {
+		st.setPrivate(valid)
+		return nil
+	})
+}
+
+// UnregisterPrivate retires the private pattern type with pt's name. The
+// last remaining type cannot be removed (ErrLastPrivate). With the static
+// Mechanism factory the rebuilt mechanism keeps protecting the retired
+// type's elements — over-protection is privacy-safe; with MechanismFor the
+// budget is re-split over the remaining set.
+func (rt *Runtime) UnregisterPrivate(pt core.PatternType) (Epoch, error) {
+	return rt.mutate(func(st *controlState) error {
+		idx := -1
+		for i, p := range st.private {
+			if p.Name == pt.Name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("%w: %q", ErrUnknownPrivate, pt.Name)
+		}
+		if len(st.private) == 1 {
+			return ErrLastPrivate
+		}
+		st.private = append(st.private[:idx:idx], st.private[idx+1:]...)
+		st.privEpoch = st.epoch
+		return nil
+	})
+}
+
+// setPrivate adds or replaces one private type, keeping the slice sorted.
+func (st *controlState) setPrivate(pt core.PatternType) {
+	for i, p := range st.private {
+		if p.Name == pt.Name {
+			st.private[i] = pt
+			st.privEpoch = st.epoch
+			return
+		}
+	}
+	st.private = append(st.private, pt)
+	sort.Slice(st.private, func(i, j int) bool { return st.private[i].Name < st.private[j].Name })
+	st.privEpoch = st.epoch
+}
+
+// RegisterQuery registers a data consumer's target query while serving,
+// replacing any registered query with the same name. Each shard starts
+// answering it at its next window boundary; subscribe to the query's name
+// (before or after registering) to receive the answers.
+func (rt *Runtime) RegisterQuery(q cep.Query) (Epoch, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	return rt.mutate(func(st *controlState) error {
+		if st.queries[q.Name] {
+			for i := range st.targets {
+				if st.targets[i].Name == q.Name {
+					st.targets[i] = q
+					break
+				}
+			}
+			return nil
+		}
+		st.targets = append(st.targets, q)
+		sort.Slice(st.targets, func(i, j int) bool { return st.targets[i].Name < st.targets[j].Name })
+		st.queries[q.Name] = true
+		return nil
+	})
+}
+
+// UnregisterQuery cancels the target query with q's name
+// (ErrUnknownQuery when none is registered). Shards stop answering it at
+// their next window boundary; existing subscriptions stay open and simply
+// receive nothing further for it.
+func (rt *Runtime) UnregisterQuery(q cep.Query) (Epoch, error) {
+	return rt.mutate(func(st *controlState) error {
+		if !st.queries[q.Name] {
+			return fmt.Errorf("%w: %q", ErrUnknownQuery, q.Name)
+		}
+		delete(st.queries, q.Name)
+		for i := range st.targets {
+			if st.targets[i].Name == q.Name {
+				st.targets = append(st.targets[:i:i], st.targets[i+1:]...)
+				break
+			}
+		}
+		return nil
+	})
+}
+
+// Epoch returns the current control-plane epoch. Shards converge to it at
+// their next window boundary; per-shard applied epochs are in Snapshot.
+func (rt *Runtime) Epoch() Epoch { return rt.ctl.Load().epoch }
+
+// Queries returns the currently registered target queries sorted by name.
+func (rt *Runtime) Queries() []cep.Query {
+	st := rt.ctl.Load()
+	out := make([]cep.Query, len(st.targets))
+	copy(out, st.targets)
+	return out
+}
+
+// PrivateTypes returns the currently registered private pattern types sorted
+// by name.
+func (rt *Runtime) PrivateTypes() []core.PatternType {
+	st := rt.ctl.Load()
+	out := make([]core.PatternType, len(st.private))
+	copy(out, st.private)
+	return out
+}

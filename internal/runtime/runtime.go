@@ -1,10 +1,12 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"patterndp/internal/cep"
@@ -46,21 +48,39 @@ var ErrClosed = errors.New("runtime: closed")
 // error is reported by Close.
 var ErrShardFailed = errors.New("runtime: shard failed")
 
-// Config parameterizes a Runtime. Mechanism, Private, Targets, and
-// WindowWidth are required; zero values elsewhere pick the documented
-// defaults.
+// Config parameterizes a Runtime. WindowWidth, Private, and one of
+// Mechanism/MechanismFor are required; zero values elsewhere pick the
+// documented defaults.
 type Config struct {
 	// Shards is the number of serving shards. Default: GOMAXPROCS.
 	Shards int
 	// WindowWidth is the tumbling-window width applied per stream.
 	WindowWidth event.Timestamp
 	// Mechanism builds shard i's own mechanism instance, so no mechanism
-	// state or configuration is shared between shards.
+	// state or configuration is shared between shards. It is re-invoked
+	// whenever a control-plane epoch changes the private set (see
+	// UnregisterPrivate) — shards rebuild independently, so the factory
+	// must be safe for concurrent calls and stay callable for the
+	// runtime's lifetime. Because its mechanism cannot adapt to private
+	// types it was not built over, RegisterPrivate requires MechanismFor
+	// instead.
 	Mechanism func(shard int) (core.Mechanism, error)
-	// Private are the protected pattern types, registered on every shard.
+	// MechanismFor, when set, takes precedence over Mechanism: it builds
+	// shard i's mechanism over the given private set and is re-invoked on
+	// every private-set epoch (concurrently across shards, like
+	// Mechanism), so budget splits follow the live set and RegisterPrivate
+	// becomes available. The slice is a private copy the factory may
+	// retain.
+	MechanismFor func(shard int, private []core.PatternType) (core.Mechanism, error)
+	// Private are the initially protected pattern types, registered on
+	// every shard. At least one is required, and the set never shrinks to
+	// zero (see ErrLastPrivate); churn goes through RegisterPrivate and
+	// UnregisterPrivate.
 	Private []core.PatternType
-	// Targets are the data consumers' queries, registered on every shard.
-	// At least one is required (more can be added via RegisterTarget).
+	// Targets are the data consumers' initial queries, registered on every
+	// shard. May be empty: queries can be registered while serving via
+	// RegisterQuery, and windows closed while no query is registered are
+	// cut (and counted) but answer nothing.
 	Targets []cep.Query
 	// Seed drives all mechanism randomness; each shard's engine derives an
 	// independent seed from it.
@@ -113,12 +133,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("runtime: Shards = %d", c.Shards)
 	case c.WindowWidth <= 0:
 		return fmt.Errorf("runtime: WindowWidth = %d", c.WindowWidth)
-	case c.Mechanism == nil:
-		return fmt.Errorf("runtime: nil Mechanism factory")
+	case c.Mechanism == nil && c.MechanismFor == nil:
+		return fmt.Errorf("runtime: nil Mechanism and MechanismFor factories")
 	case len(c.Private) == 0:
 		return fmt.Errorf("runtime: no private pattern types")
-	case len(c.Targets) == 0:
-		return fmt.Errorf("runtime: no target queries")
 	case c.AllowedLateness < 0:
 		return fmt.Errorf("runtime: AllowedLateness = %d", c.AllowedLateness)
 	case c.Horizon < 0:
@@ -136,7 +154,10 @@ func (c Config) validate() error {
 // Runtime is the sharded streaming serving layer: it continuously ingests a
 // multi-stream event feed, windows each stream incrementally, serves closed
 // windows through per-shard PrivateEngines, and delivers released answers to
-// per-query subscribers. Ingest, Subscribe, RegisterTarget, and Snapshot are
+// per-query subscribers. On top of serving it runs a dynamic control plane:
+// private pattern types and target queries can be registered and
+// unregistered while traffic flows, with every change stamped by an Epoch
+// that shards apply only at per-stream window boundaries. All methods are
 // safe for concurrent use.
 type Runtime struct {
 	cfg    Config
@@ -145,8 +166,20 @@ type Runtime struct {
 	wg     sync.WaitGroup
 	start  time.Time
 
+	// ctl is the current control-plane state; ctlMu serializes mutations
+	// (readers go straight to the atomic pointer).
+	ctl   atomic.Pointer[controlState]
+	ctlMu sync.Mutex
+
 	mu     sync.RWMutex
 	closed bool
+
+	// closing arbitrates which CloseContext call runs the close sequence;
+	// done closes when that sequence — drain, flush, bus shutdown — has
+	// completed, and closeErr is valid after that.
+	closing  atomic.Bool
+	done     chan struct{}
+	closeErr error
 }
 
 // New validates the configuration, builds the shards — each with its own
@@ -156,25 +189,24 @@ func New(cfg Config) (*Runtime, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rt := &Runtime{cfg: cfg, bus: newBus(cfg.SubscriberBuffer), start: time.Now()}
+	rt := &Runtime{
+		cfg:   cfg,
+		bus:   newBus(cfg.SubscriberBuffer),
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	st := newControlState(cfg.Private, cfg.Targets)
+	rt.ctl.Store(st)
 	for i := 0; i < cfg.Shards; i++ {
-		m, err := cfg.Mechanism(i)
+		eng, err := rt.buildEngine(i, st)
 		if err != nil {
-			return nil, fmt.Errorf("runtime: shard %d mechanism: %w", i, err)
-		}
-		eng, err := core.NewPrivateEngine(m, cfg.Private, shardSeed(cfg.Seed, i))
-		if err != nil {
-			return nil, fmt.Errorf("runtime: shard %d engine: %w", i, err)
-		}
-		for _, q := range cfg.Targets {
-			if err := eng.RegisterTarget(q); err != nil {
-				return nil, fmt.Errorf("runtime: shard %d target: %w", i, err)
-			}
+			return nil, err
 		}
 		rt.shards = append(rt.shards, &shard{
 			id:      i,
 			rt:      rt,
 			engine:  eng,
+			cur:     st,
 			in:      make(chan event.Event, cfg.ShardBuffer),
 			streams: make(map[string]*streamState),
 		})
@@ -184,6 +216,38 @@ func New(cfg Config) (*Runtime, error) {
 		go sh.run()
 	}
 	return rt, nil
+}
+
+// buildEngine constructs one shard's serving engine for a control state: a
+// fresh mechanism instance from the configured factory over the state's
+// private set, an engine seed decorrelated per shard and per private-set
+// epoch (so a rebuilt engine never replays an earlier engine's noise
+// sequence), and the state's target queries.
+func (rt *Runtime) buildEngine(shard int, st *controlState) (*core.PrivateEngine, error) {
+	var m core.Mechanism
+	var err error
+	if rt.cfg.MechanismFor != nil {
+		private := make([]core.PatternType, len(st.private))
+		copy(private, st.private)
+		m, err = rt.cfg.MechanismFor(shard, private)
+	} else {
+		m, err = rt.cfg.Mechanism(shard)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runtime: shard %d mechanism: %w", shard, err)
+	}
+	seed := shardSeed(rt.cfg.Seed, shard)
+	if st.privEpoch > 0 {
+		seed = core.MixSeed(seed, int64(st.privEpoch))
+	}
+	eng, err := core.NewPrivateEngine(m, st.private, seed)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: shard %d engine: %w", shard, err)
+	}
+	if err := eng.SetTargets(st.targets); err != nil {
+		return nil, fmt.Errorf("runtime: shard %d targets: %w", shard, err)
+	}
+	return eng, nil
 }
 
 // shardSeed derives shard i's engine seed from the runtime seed with the
@@ -201,8 +265,18 @@ func (rt *Runtime) Shards() int { return len(rt.shards) }
 // Ingest routes one event to its stream's shard, applying the configured
 // backpressure policy when the shard's channel is full. Events of one stream
 // key may be ingested from one goroutine only (or externally ordered);
-// different streams may ingest concurrently.
+// different streams may ingest concurrently. Under Block backpressure Ingest
+// waits without bound; use IngestContext to bound the wait.
 func (rt *Runtime) Ingest(e event.Event) error {
+	return rt.IngestContext(context.Background(), e)
+}
+
+// IngestContext is Ingest with cancellation plumbed through the
+// backpressure wait: when the target shard's channel is full and ctx ends,
+// it returns ctx's error with the event not ingested. A context that is
+// already done may still ingest when the shard has capacity; it never
+// blocks.
+func (rt *Runtime) IngestContext(ctx context.Context, e event.Event) error {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
 	if rt.closed {
@@ -219,6 +293,9 @@ func (rt *Runtime) Ingest(e event.Event) error {
 				return nil
 			default:
 			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			select {
 			case <-sh.in:
 				sh.stats.droppedIngest.Inc()
@@ -226,30 +303,59 @@ func (rt *Runtime) Ingest(e event.Event) error {
 			}
 		}
 	}
-	sh.in <- e
-	return nil
-}
-
-// Subscribe returns a channel delivering released answers for the named
-// query; the empty name subscribes to every query. Answers for one stream
-// arrive in window order (indices restart at 0 if the stream is evicted
-// and returns; see Config.EvictAfter); interleaving across streams is
-// unspecified. The
-// channel closes when the runtime closes, and subscribers must keep draining
-// until then — an abandoned subscription eventually stalls serving.
-func (rt *Runtime) Subscribe(query string) <-chan Answer {
-	return rt.bus.subscribe(query)
-}
-
-// RegisterTarget adds a target query on every shard, effective from the next
-// window each shard closes.
-func (rt *Runtime) RegisterTarget(q cep.Query) error {
-	for _, sh := range rt.shards {
-		if err := sh.engine.RegisterTarget(q); err != nil {
-			return err
-		}
+	select {
+	case sh.in <- e:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	return nil
+}
+
+// Subscribe opens a subscription delivering released answers for the named
+// query; the empty name subscribes to every query. Subscribing to a name
+// with no registered query returns ErrUnknownQuery (wrapped) — register the
+// query first. Answers for one stream arrive in window order (indices
+// restart at 0 if the stream is evicted and returns; see Config.EvictAfter);
+// interleaving across streams is unspecified. Drain Subscription.C until it
+// closes or call Cancel — an abandoned subscription eventually stalls
+// serving.
+func (rt *Runtime) Subscribe(query string) (*Subscription, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.closed {
+		return nil, ErrClosed
+	}
+	if query != "" && !rt.ctl.Load().queries[query] {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownQuery, query)
+	}
+	return rt.bus.add(query), nil
+}
+
+// SubscribeChan returns a bare answer channel for the named query.
+//
+// Deprecated: use Subscribe, which rejects unknown query names and returns a
+// cancellable Subscription handle. SubscribeChan keeps the old semantics for
+// migration: an unknown name yields a channel that never receives, and the
+// subscription cannot be cancelled before Close.
+func (rt *Runtime) SubscribeChan(query string) <-chan Answer {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.closed {
+		ch := make(chan Answer)
+		close(ch)
+		return ch
+	}
+	return rt.bus.add(query).C()
+}
+
+// RegisterTarget adds a target query, effective from the next window each
+// shard closes.
+//
+// Deprecated: use RegisterQuery, which also returns the control-plane epoch
+// the change took effect under.
+func (rt *Runtime) RegisterTarget(q cep.Query) error {
+	_, err := rt.RegisterQuery(q)
+	return err
 }
 
 // Close stops ingestion, drains every shard — trailing partial windows are
@@ -257,30 +363,70 @@ func (rt *Runtime) RegisterTarget(q cep.Query) error {
 // shard serving error, if any. Ingest calls racing with Close either land
 // before the drain or fail with ErrClosed.
 func (rt *Runtime) Close() error {
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
+	return rt.CloseContext(context.Background())
+}
+
+// CloseContext is Close with a bounded wait: it initiates the close
+// sequence, then waits for the drain to complete or ctx to end. On
+// cancellation it returns ctx's error while the close sequence keeps running
+// in the background (subscriptions still close once it finishes — watch Done
+// and read Err for the outcome); the close is already initiated either way,
+// so subsequent calls return ErrClosed. The entire sequence runs off the
+// caller's goroutine, so ctx bounds the wait even while producers blocked in
+// Ingest are wedging the runtime lock.
+func (rt *Runtime) CloseContext(ctx context.Context) error {
+	if !rt.closing.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
-	rt.closed = true
-	rt.mu.Unlock()
-	for _, sh := range rt.shards {
-		close(sh.in)
-	}
-	rt.wg.Wait()
-	rt.bus.close()
-	for _, sh := range rt.shards {
-		if sh.err != nil {
-			return fmt.Errorf("runtime: shard %d: %w", sh.id, sh.err)
+	go func() {
+		rt.mu.Lock()
+		rt.closed = true
+		rt.mu.Unlock()
+		for _, sh := range rt.shards {
+			close(sh.in)
 		}
+		rt.wg.Wait()
+		for _, sh := range rt.shards {
+			if sh.err != nil {
+				rt.closeErr = fmt.Errorf("runtime: shard %d: %w", sh.id, sh.err)
+				break
+			}
+		}
+		rt.bus.close()
+		close(rt.done)
+	}()
+	select {
+	case <-rt.done:
+		return rt.closeErr
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	return nil
+}
+
+// Done returns a channel that closes once the close sequence — drain, flush,
+// bus shutdown — has completed. It lets a caller whose CloseContext returned
+// on cancellation observe the background completion.
+func (rt *Runtime) Done() <-chan struct{} { return rt.done }
+
+// Err returns the terminal serving error (the first shard's engine error, as
+// Close would report it): nil before the close sequence completes and nil
+// after a clean close.
+func (rt *Runtime) Err() error {
+	select {
+	case <-rt.done:
+		return rt.closeErr
+	default:
+		return nil
+	}
 }
 
 // ShardStats are one shard's serving counters at a point in time.
 type ShardStats struct {
 	// Shard is the shard index (-1 for aggregated totals).
 	Shard int
+	// Epoch is the control-plane epoch the shard last applied; it trails
+	// Stats.Epoch until the shard serves its next window boundary.
+	Epoch Epoch
 	// Streams counts stream states opened on the shard (an evicted stream
 	// that returns is counted again).
 	Streams int64
@@ -310,6 +456,8 @@ type ShardStats struct {
 type Stats struct {
 	// Shards holds one entry per shard, in shard order.
 	Shards []ShardStats
+	// Epoch is the current control-plane epoch.
+	Epoch Epoch
 	// Uptime is the time since the runtime started serving.
 	Uptime time.Duration
 }
@@ -317,10 +465,15 @@ type Stats struct {
 // Snapshot reads every shard's counters. It is cheap and safe to call at any
 // time, including while serving.
 func (rt *Runtime) Snapshot() Stats {
-	st := Stats{Shards: make([]ShardStats, len(rt.shards)), Uptime: time.Since(rt.start)}
+	st := Stats{
+		Shards: make([]ShardStats, len(rt.shards)),
+		Epoch:  rt.ctl.Load().epoch,
+		Uptime: time.Since(rt.start),
+	}
 	for i, sh := range rt.shards {
 		st.Shards[i] = ShardStats{
 			Shard:          i,
+			Epoch:          Epoch(sh.epoch.Load()),
 			Streams:        sh.stats.streams.Load(),
 			StreamsEvicted: sh.stats.streamsEvicted.Load(),
 			EventsIn:       sh.stats.eventsIn.Load(),
@@ -336,10 +489,14 @@ func (rt *Runtime) Snapshot() Stats {
 	return st
 }
 
-// Totals aggregates the per-shard counters.
+// Totals aggregates the per-shard counters. Epoch is the minimum applied
+// epoch across shards — the point every shard has caught up to.
 func (st Stats) Totals() ShardStats {
 	t := ShardStats{Shard: -1}
-	for _, s := range st.Shards {
+	for i, s := range st.Shards {
+		if i == 0 || s.Epoch < t.Epoch {
+			t.Epoch = s.Epoch
+		}
 		t.Streams += s.Streams
 		t.StreamsEvicted += s.StreamsEvicted
 		t.EventsIn += s.EventsIn

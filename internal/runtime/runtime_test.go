@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -60,13 +61,16 @@ func TestRuntimeMultiStreamOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := rt.Subscribe("seq-ab")
+	sub, err := rt.Subscribe("seq-ab")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var got []Answer
 	var consumer sync.WaitGroup
 	consumer.Add(1)
 	go func() {
 		defer consumer.Done()
-		for a := range sub {
+		for a := range sub.C() {
 			got = append(got, a)
 		}
 	}()
@@ -133,13 +137,16 @@ func TestRuntimeStreamAffinity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := rt.Subscribe("")
+	sub, err := rt.Subscribe("")
+	if err != nil {
+		t.Fatal(err)
+	}
 	shardOf := make(map[string]map[int]bool)
 	var consumer sync.WaitGroup
 	consumer.Add(1)
 	go func() {
 		defer consumer.Done()
-		for a := range sub {
+		for a := range sub.C() {
 			if shardOf[a.Stream] == nil {
 				shardOf[a.Stream] = make(map[int]bool)
 			}
@@ -174,9 +181,12 @@ func TestRuntimeDropLateCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := rt.Subscribe("")
+	sub, err := rt.Subscribe("")
+	if err != nil {
+		t.Fatal(err)
+	}
 	go func() {
-		for range sub {
+		for range sub.C() {
 		}
 	}()
 	for _, e := range []event.Event{
@@ -212,7 +222,10 @@ func TestRuntimeDropOldestBackpressure(t *testing.T) {
 	}
 	// A subscriber that consumes only after Close lets answers stall the
 	// shard, so the ingest channel must overflow and evict.
-	sub := rt.Subscribe("")
+	sub, err := rt.Subscribe("")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 64; i++ {
 		if err := rt.Ingest(event.New("a", event.Timestamp(i))); err != nil {
 			t.Fatal(err)
@@ -221,7 +234,7 @@ func TestRuntimeDropOldestBackpressure(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for range sub {
+		for range sub.C() {
 		}
 	}()
 	if err := rt.Close(); err != nil {
@@ -237,19 +250,25 @@ func TestRuntimeDropOldestBackpressure(t *testing.T) {
 	}
 }
 
-// TestRuntimeClosedSemantics checks Ingest and Close after Close, and that
-// subscriptions close.
+// TestRuntimeClosedSemantics checks Ingest, Close, Subscribe, and control
+// ops after Close, and that subscriptions close with a nil Err.
 func TestRuntimeClosedSemantics(t *testing.T) {
 	rt, err := New(testConfig(t, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := rt.Subscribe("has-a")
+	sub, err := rt.Subscribe("has-a")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := rt.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, open := <-sub; open {
+	if _, open := <-sub.C(); open {
 		t.Error("subscription still open after Close")
+	}
+	if err := sub.Err(); err != nil {
+		t.Errorf("Err after runtime Close = %v, want nil (normal end of stream)", err)
 	}
 	if err := rt.Ingest(event.New("a", 1)); err != ErrClosed {
 		t.Errorf("Ingest after Close = %v, want ErrClosed", err)
@@ -257,31 +276,49 @@ func TestRuntimeClosedSemantics(t *testing.T) {
 	if err := rt.Close(); err != ErrClosed {
 		t.Errorf("second Close = %v, want ErrClosed", err)
 	}
-	if _, open := <-rt.Subscribe("has-a"); open {
-		t.Error("Subscribe after Close returned an open channel")
+	if _, err := rt.Subscribe("has-a"); err != ErrClosed {
+		t.Errorf("Subscribe after Close = %v, want ErrClosed", err)
+	}
+	if _, err := rt.RegisterQuery(cep.Query{Name: "q", Pattern: cep.E("a"), Window: 10}); err != ErrClosed {
+		t.Errorf("RegisterQuery after Close = %v, want ErrClosed", err)
+	}
+	// Deprecated SubscribeChan keeps the old closed-channel semantics.
+	if _, open := <-rt.SubscribeChan("has-a"); open {
+		t.Error("SubscribeChan after Close returned an open channel")
 	}
 }
 
-// TestRuntimeRegisterTargetLive adds a query mid-serve and checks it starts
-// answering on later windows.
-func TestRuntimeRegisterTargetLive(t *testing.T) {
+// TestRuntimeRegisterQueryLive adds a query mid-serve and checks it starts
+// answering on later windows, with answers stamped by its epoch.
+func TestRuntimeRegisterQueryLive(t *testing.T) {
 	rt, err := New(testConfig(t, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := rt.Subscribe("late-q")
+	ep, err := rt.RegisterQuery(cep.Query{Name: "late-q", Pattern: cep.E("b"), Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != 1 {
+		t.Errorf("first registration epoch = %d, want 1", ep)
+	}
+	sub, err := rt.Subscribe("late-q")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var n int
+	var badEpoch bool
 	var consumer sync.WaitGroup
 	consumer.Add(1)
 	go func() {
 		defer consumer.Done()
-		for range sub {
+		for a := range sub.C() {
 			n++
+			if a.Epoch < ep {
+				badEpoch = true
+			}
 		}
 	}()
-	if err := rt.RegisterTarget(cep.Query{Name: "late-q", Pattern: cep.E("b"), Window: 10}); err != nil {
-		t.Fatal(err)
-	}
 	for _, e := range streamEvents("s", 5) {
 		if err := rt.Ingest(e); err != nil {
 			t.Fatal(err)
@@ -293,6 +330,486 @@ func TestRuntimeRegisterTargetLive(t *testing.T) {
 	consumer.Wait()
 	if n != 5 {
 		t.Errorf("late-q answers = %d, want 5", n)
+	}
+	if badEpoch {
+		t.Errorf("answer released under an epoch before the query existed")
+	}
+}
+
+// TestRuntimeSubscribeUnknownQuery is the regression test for subscriptions
+// to nonexistent queries: they must fail instead of returning a channel that
+// can never receive.
+func TestRuntimeSubscribeUnknownQuery(t *testing.T) {
+	rt, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.Subscribe("no-such-query"); !errors.Is(err, ErrUnknownQuery) {
+		t.Fatalf("Subscribe(unknown) = %v, want ErrUnknownQuery", err)
+	}
+	if _, err := rt.Subscribe(""); err != nil {
+		t.Fatalf("Subscribe(all) = %v, want nil", err)
+	}
+	if _, err := rt.Subscribe("has-a"); err != nil {
+		t.Fatalf("Subscribe(known) = %v, want nil", err)
+	}
+}
+
+// TestRuntimeSubscriptionCancel is the regression test for the subscriber
+// leak: Cancel must remove the subscription from the bus, close the channel
+// exactly once (idempotently, also under a concurrent publish), and report
+// ErrSubscriptionCancelled.
+func TestRuntimeSubscriptionCancel(t *testing.T) {
+	rt, err := New(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rt.Subscribe("has-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.bus.subscribers("has-a"); got != 1 {
+		t.Fatalf("subscribers = %d, want 1", got)
+	}
+	// Cancel concurrently with live publishing: deliveries racing the
+	// cancel must be either buffered or discarded, never a panic.
+	var producers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		producers.Add(1)
+		go func(i int) {
+			defer producers.Done()
+			for _, e := range streamEvents(fmt.Sprintf("s%d", i), 10) {
+				if err := rt.Ingest(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	var cancels sync.WaitGroup
+	for i := 0; i < 2; i++ { // concurrent double-cancel must be safe
+		cancels.Add(1)
+		go func() {
+			defer cancels.Done()
+			sub.Cancel()
+		}()
+	}
+	cancels.Wait()
+	producers.Wait()
+	if got := rt.bus.subscribers("has-a"); got != 0 {
+		t.Errorf("subscribers after Cancel = %d, want 0 (leaked)", got)
+	}
+	// The channel must close once buffered answers are drained.
+	for range sub.C() {
+	}
+	if !errors.Is(sub.Err(), ErrSubscriptionCancelled) {
+		t.Errorf("Err after Cancel = %v, want ErrSubscriptionCancelled", sub.Err())
+	}
+	sub.Cancel() // idempotent after close
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeControlChurnRace is the acceptance test for the dynamic control
+// plane: concurrent Ingest with RegisterQuery/UnregisterQuery and
+// RegisterPrivate/UnregisterPrivate churn across 4 shards under -race, with
+// every released answer's epoch naming a query set that actually contained
+// its query.
+func TestRuntimeControlChurnRace(t *testing.T) {
+	cfg := testConfig(t, 4)
+	cfg.Mechanism = nil
+	cfg.MechanismFor = func(_ int, private []core.PatternType) (core.Mechanism, error) {
+		return core.NewUniformPPM(50, private...)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rt.Subscribe("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// history records, per epoch, the query set in force after that
+	// epoch's change. Epoch 0 is the construction state.
+	var historyMu sync.Mutex
+	history := map[Epoch]map[string]bool{0: {"has-a": true, "seq-ab": true}}
+	record := func(ep Epoch, queries []cep.Query) {
+		set := make(map[string]bool, len(queries))
+		for _, q := range queries {
+			set[q.Name] = true
+		}
+		historyMu.Lock()
+		history[ep] = set
+		historyMu.Unlock()
+	}
+
+	var got []Answer
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range sub.C() {
+			got = append(got, a)
+		}
+	}()
+
+	const streams, windows = 8, 40
+	var producers sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		producers.Add(1)
+		go func(i int) {
+			defer producers.Done()
+			for _, e := range streamEvents(fmt.Sprintf("stream-%d", i), windows) {
+				if err := rt.Ingest(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Control-plane churn concurrent with the producers: queries come and
+	// go, and a private pattern type is registered and retired repeatedly
+	// (forcing mechanism rebuilds).
+	var controller sync.WaitGroup
+	controller.Add(1)
+	go func() {
+		defer controller.Done()
+		churnQ := cep.Query{Name: "churn-q", Pattern: cep.E("b"), Window: 10}
+		churnPT, err := core.NewPatternType("churn-priv", "b")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			ep, err := rt.RegisterQuery(churnQ)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			record(ep, rt.Queries())
+			if ep, err = rt.RegisterPrivate(churnPT); err != nil {
+				t.Error(err)
+				return
+			}
+			record(ep, rt.Queries())
+			if ep, err = rt.UnregisterQuery(churnQ); err != nil {
+				t.Error(err)
+				return
+			}
+			record(ep, rt.Queries())
+			if ep, err = rt.UnregisterPrivate(churnPT); err != nil {
+				t.Error(err)
+				return
+			}
+			record(ep, rt.Queries())
+		}
+	}()
+	controller.Wait()
+
+	// After the churn settles, a final registration must be answered for
+	// all windows served after it: the ingests below happen after
+	// RegisterQuery returned, so their windows close under epoch >= final.
+	finalEp, err := rt.RegisterQuery(cep.Query{Name: "final-q", Pattern: cep.E("a"), Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(finalEp, rt.Queries())
+	producers.Wait()
+	for _, e := range streamEvents("post-churn", 3) {
+		if err := rt.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Wait()
+
+	finals := 0
+	for _, a := range got {
+		set, ok := history[a.Epoch]
+		if !ok {
+			t.Fatalf("answer for %q stamped with unknown epoch %d", a.Query, a.Epoch)
+		}
+		if !set[a.Query] {
+			t.Fatalf("answer for %q released under epoch %d whose query set %v does not contain it",
+				a.Query, a.Epoch, set)
+		}
+		if a.Stream == "post-churn" {
+			if a.Epoch < finalEp {
+				t.Fatalf("post-churn answer served under epoch %d < registration epoch %d", a.Epoch, finalEp)
+			}
+			if a.Query == "final-q" {
+				finals++
+			}
+		}
+	}
+	if finals != 3 {
+		t.Errorf("final-q answers on post-churn stream = %d, want 3", finals)
+	}
+	if got := rt.Snapshot().Epoch; got != finalEp {
+		t.Errorf("Snapshot epoch = %d, want %d", got, finalEp)
+	}
+}
+
+// TestRuntimeUnregisterLastQuery drains the query set to zero and back:
+// windows closed with no query registered are cut but answer nothing, and
+// serving resumes when a query returns.
+func TestRuntimeUnregisterLastQuery(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Targets = cfg.Targets[:1] // only has-a
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rt.Subscribe("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Answer
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range sub.C() {
+			got = append(got, a)
+		}
+	}()
+	if _, err := rt.UnregisterQuery(cep.Query{Name: "has-a"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range streamEvents("s", 3) {
+		if err := rt.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.UnregisterQuery(cep.Query{Name: "has-a"}); !errors.Is(err, ErrUnknownQuery) {
+		t.Fatalf("double unregister = %v, want ErrUnknownQuery", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Wait()
+	if len(got) != 0 {
+		t.Errorf("answers with no query registered = %d, want 0", len(got))
+	}
+	if tot := rt.Snapshot().Totals(); tot.WindowsClosed != 3 {
+		t.Errorf("WindowsClosed = %d, want 3 (windows still cut)", tot.WindowsClosed)
+	}
+}
+
+// TestRuntimePrivateControl checks the private-set control surface:
+// RegisterPrivate requires MechanismFor, the last private type cannot be
+// unregistered, and unknown names error.
+func TestRuntimePrivateControl(t *testing.T) {
+	rt, err := New(testConfig(t, 1)) // static Mechanism factory
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pt, err := core.NewPatternType("extra", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RegisterPrivate(pt); !errors.Is(err, ErrStaticMechanism) {
+		t.Errorf("RegisterPrivate with static factory = %v, want ErrStaticMechanism", err)
+	}
+	if _, err := rt.UnregisterPrivate(pt); !errors.Is(err, ErrUnknownPrivate) {
+		t.Errorf("UnregisterPrivate(unknown) = %v, want ErrUnknownPrivate", err)
+	}
+	if _, err := rt.UnregisterPrivate(core.PatternType{Name: "priv"}); !errors.Is(err, ErrLastPrivate) {
+		t.Errorf("UnregisterPrivate(last) = %v, want ErrLastPrivate", err)
+	}
+	if got := len(rt.PrivateTypes()); got != 1 {
+		t.Errorf("PrivateTypes = %d, want 1", got)
+	}
+	if got := rt.Epoch(); got != 0 {
+		t.Errorf("failed mutations consumed epochs: Epoch = %d, want 0", got)
+	}
+}
+
+// TestRuntimeIngestContextCancel wedges a shard behind an undrained
+// subscription (its buffer — the 64-slot default — fills, publish blocks,
+// then the 1-slot ingest channel fills), then checks a blocked IngestContext
+// returns the context error — and that cancelling the subscription unwedges
+// serving so Close completes.
+func TestRuntimeIngestContextCancel(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.ShardBuffer = 1
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rt.Subscribe("") // never drained: publishing blocks serving
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		// Enough events to close windows and wedge: publish blocks, the
+		// shard channel fills, and some IngestContext call blocks.
+		for i := 0; ; i++ {
+			if err := rt.IngestContext(ctx, event.New("a", event.Timestamp(i*10))); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the producer wedge
+	// Status reads must not block behind the backpressured delivery the
+	// shard is stuck in.
+	errDone := make(chan error, 1)
+	go func() { errDone <- sub.Err() }()
+	select {
+	case e := <-errDone:
+		if e != nil {
+			t.Errorf("Err on a live subscription = %v, want nil", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Err blocked behind a backpressured delivery")
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("IngestContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("IngestContext still blocked after cancel")
+	}
+	// Cancelling the stuck subscription releases the blocked publish, so
+	// the runtime can drain and close.
+	sub.Cancel()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeCloseContext checks the bounded close: with serving wedged
+// behind an undrained subscription, CloseContext returns the context error
+// while the drain continues in the background and completes once the
+// subscription is cancelled.
+func TestRuntimeCloseContext(t *testing.T) {
+	rt, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rt.Subscribe("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough windows that the undrained subscription buffer (default 64)
+	// fills and publishing wedges the drain.
+	for _, e := range streamEvents("s", 60) {
+		if err := rt.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := rt.CloseContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CloseContext = %v, want context.DeadlineExceeded", err)
+	}
+	if err := rt.Close(); err != ErrClosed {
+		t.Fatalf("Close after CloseContext = %v, want ErrClosed", err)
+	}
+	if err := rt.Err(); err != nil {
+		t.Errorf("Err before the drain completed = %v, want nil", err)
+	}
+	sub.Cancel()
+	select {
+	case <-rt.Done(): // background drain finished
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed after subscription cancel")
+	}
+	if err := rt.Err(); err != nil {
+		t.Errorf("drain finished with error %v", err)
+	}
+}
+
+// TestRuntimeCloseContextWedgedProducer pins the bounded-wait contract under
+// the worst wedge: a producer blocked inside Ingest holds the runtime lock,
+// so the close sequence cannot even mark the runtime closed — CloseContext
+// must still return when its context does.
+func TestRuntimeCloseContextWedgedProducer(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.ShardBuffer = 1
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rt.Subscribe("") // never drained
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedged := make(chan struct{})
+	go func() {
+		defer close(wedged)
+		// Blocks once the subscriber buffer and the ingest channel fill;
+		// unwedged below by the subscription cancel.
+		for i := 0; i < 200; i++ {
+			if rt.Ingest(event.New("a", event.Timestamp(i*10))) != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the producer wedge
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := rt.CloseContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CloseContext under a wedged producer = %v, want context.DeadlineExceeded", err)
+	}
+	sub.Cancel()
+	<-wedged
+	select {
+	case <-rt.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed after unwedging")
+	}
+}
+
+// TestRuntimeDuplicateConfigNames is the regression test for duplicate names
+// in Config.Targets: they must collapse to one registration (last wins), so
+// a later UnregisterQuery cannot strand a stale duplicate that would fail
+// the shards' epoch apply.
+func TestRuntimeDuplicateConfigNames(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.Targets = append(cfg.Targets, cep.Query{Name: "has-a", Pattern: cep.E("a"), Window: 10})
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt.Queries()); got != 2 {
+		t.Fatalf("Queries = %d, want 2 (duplicate collapsed)", got)
+	}
+	if _, err := rt.UnregisterQuery(cep.Query{Name: "has-a"}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rt.Subscribe("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range sub.C() {
+		}
+	}()
+	// Serving windows past the unregister exercises each shard's epoch
+	// apply; a stale duplicate would kill the shards here.
+	for _, e := range streamEvents("s", 5) {
+		if err := rt.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tot := rt.Snapshot().Totals(); tot.Failed {
+		t.Error("shards failed after unregistering a config-duplicated query")
 	}
 }
 
@@ -310,13 +827,16 @@ func TestRuntimeDeterministicPerStream(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sub := rt.Subscribe("has-a")
+		sub, err := rt.Subscribe("has-a")
+		if err != nil {
+			t.Fatal(err)
+		}
 		out := make(map[string][]bool)
 		var consumer sync.WaitGroup
 		consumer.Add(1)
 		go func() {
 			defer consumer.Done()
-			for a := range sub {
+			for a := range sub.C() {
 				out[a.Stream] = append(out[a.Stream], a.Detected)
 			}
 		}()
@@ -370,9 +890,12 @@ func TestRuntimeShardFailureSurfaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := rt.Subscribe("")
+	sub, err := rt.Subscribe("")
+	if err != nil {
+		t.Fatal(err)
+	}
 	go func() {
-		for range sub {
+		for range sub.C() {
 		}
 	}()
 	// Window 0 serves fine; window 1 triggers the failure. Keep ingesting
@@ -404,14 +927,17 @@ func TestRuntimeIdleStreamEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := rt.Subscribe("has-a")
+	sub, err := rt.Subscribe("has-a")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var mu sync.Mutex
 	byStream := make(map[string]int)
 	var consumer sync.WaitGroup
 	consumer.Add(1)
 	go func() {
 		defer consumer.Done()
-		for a := range sub {
+		for a := range sub.C() {
 			mu.Lock()
 			byStream[a.Stream]++
 			mu.Unlock()
@@ -477,7 +1003,6 @@ func TestRuntimeConfigValidation(t *testing.T) {
 		{"no window width", func(c *Config) { c.WindowWidth = 0 }},
 		{"nil mechanism", func(c *Config) { c.Mechanism = nil }},
 		{"no private", func(c *Config) { c.Private = nil }},
-		{"no targets", func(c *Config) { c.Targets = nil }},
 		{"negative lateness", func(c *Config) { c.AllowedLateness = -1 }},
 		{"negative horizon", func(c *Config) { c.Horizon = -1 }},
 		{"negative evict", func(c *Config) { c.EvictAfter = -1 }},
@@ -490,6 +1015,14 @@ func TestRuntimeConfigValidation(t *testing.T) {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}
+	// Empty Targets is valid now that queries can be registered live.
+	cfg := base
+	cfg.Targets = nil
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatalf("no targets rejected: %v", err)
+	}
+	rt.Close()
 }
 
 func TestHashSharderStable(t *testing.T) {

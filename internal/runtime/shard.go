@@ -37,17 +37,57 @@ type streamState struct {
 // shard is one serving unit: a bounded ingest channel, its own PrivateEngine
 // around its own mechanism instance (independently seeded), and the window
 // state of every stream routed to it. All fields past the channel are owned
-// by the shard's run goroutine.
+// by the shard's run goroutine (epoch is additionally loaded by Snapshot).
 type shard struct {
 	id      int
 	rt      *Runtime
 	engine  *core.PrivateEngine
+	cur     *controlState // control state currently applied to engine
+	epoch   atomic.Uint64 // cur.epoch, mirrored for Snapshot
 	in      chan event.Event
 	streams map[string]*streamState
 	clock   int64 // events served; drives idle-stream eviction
 	stats   shardStats
 	failed  atomic.Bool // set on the first serving error; checked by Ingest
 	err     error       // first serving error; read after rt.wg.Wait()
+}
+
+// syncControl applies any control-plane epochs published since the shard
+// last served a window. It runs only at window boundaries — the caller is
+// about to serve a fully closed window — so no window is ever answered under
+// a half-applied registration state. A private-set change rebuilds the
+// mechanism (via the configured factory, so budget splits stay coherent over
+// the new set) and the engine around it; a query-only change adjusts the
+// live engine's target set in place, preserving mechanism state. It reports
+// false on a rebuild error, which it records for Close to surface, like
+// emit.
+func (s *shard) syncControl() bool {
+	st := s.rt.ctl.Load()
+	if st == s.cur {
+		return true
+	}
+	if st.privEpoch != s.cur.privEpoch {
+		eng, err := s.rt.buildEngine(s.id, st)
+		if err != nil {
+			return s.fail(err)
+		}
+		s.engine = eng
+	} else if err := s.engine.SetTargets(st.targets); err != nil {
+		return s.fail(err)
+	}
+	s.cur = st
+	s.epoch.Store(uint64(st.epoch))
+	return true
+}
+
+// fail records the shard's first serving error and flips the failed flag so
+// Ingest starts rejecting; it always returns false for use in serving paths.
+func (s *shard) fail(err error) bool {
+	if s.err == nil {
+		s.err = err
+	}
+	s.failed.Store(true)
+	return false
 }
 
 // run is the shard's serving loop: window every incoming event's stream,
@@ -132,22 +172,31 @@ func (s *shard) sweep(evict int64) bool {
 
 // emit serves closed windows one at a time — stateful mechanisms see windows
 // in stream order — and publishes every released answer tagged with the
-// stream key and per-stream window index. It reports false on the first
-// engine error, which it records for Close to surface.
+// stream key, per-stream window index, and the control-plane epoch it was
+// served under. Pending epochs are applied between windows, never within
+// one, so each answer's epoch names exactly the query and private sets that
+// produced it. Windows closed while no query is registered are counted but
+// answer nothing (the window index still advances, keeping indices aligned
+// with time). It reports false on the first engine error, which it records
+// for Close to surface.
 func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
 	for _, w := range ws {
+		if !s.syncControl() {
+			return false
+		}
+		if len(s.cur.targets) == 0 {
+			s.stats.windowsClosed.Inc()
+			st.next++
+			continue
+		}
 		answers, err := s.engine.ProcessWindows([]stream.Window{w})
 		if err != nil {
-			if s.err == nil {
-				s.err = err
-			}
-			s.failed.Store(true)
-			return false
+			return s.fail(err)
 		}
 		s.stats.windowsClosed.Inc()
 		for _, a := range answers {
 			a.WindowIndex = st.next
-			s.rt.bus.publish(Answer{Stream: key, Shard: s.id, Answer: a})
+			s.rt.bus.publish(Answer{Stream: key, Shard: s.id, Epoch: s.cur.epoch, Answer: a})
 			s.stats.answersEmitted.Inc()
 		}
 		st.next++

@@ -33,14 +33,24 @@
 //	rt, _ := patterndp.NewRuntime(patterndp.RuntimeConfig{
 //		Shards:      8,
 //		WindowWidth: 10,
-//		Mechanism:   func(int) (patterndp.Mechanism, error) { return patterndp.NewUniformPPM(1.0, private) },
-//		Private:     []patterndp.PatternType{private},
-//		Targets:     []patterndp.Query{{Name: "jam", Pattern: patterndp.SeqTypes("near-hospital", "slow-speed"), Window: 10}},
+//		MechanismFor: func(shard int, private []patterndp.PatternType) (patterndp.Mechanism, error) {
+//			return patterndp.NewUniformPPM(1.0, private...)
+//		},
+//		Private: []patterndp.PatternType{private},
+//		Targets: []patterndp.Query{{Name: "jam", Pattern: patterndp.SeqTypes("near-hospital", "slow-speed"), Window: 10}},
 //	})
-//	answers := rt.Subscribe("jam")
-//	go func() { for a := range answers { use(a) } }()
+//	sub, _ := rt.Subscribe("jam")
+//	go func() { for a := range sub.C() { use(a) } }()
 //	rt.Ingest(ev) // any number of producers, routed by stream key
+//	sub.Cancel()  // detach one consumer without disturbing serving
 //	rt.Close()    // drain, flush trailing windows, close subscriptions
+//
+// The runtime's control plane is dynamic: RegisterPrivate/UnregisterPrivate
+// and RegisterQuery/UnregisterQuery apply while traffic flows. Every change
+// is stamped with a monotonically increasing Epoch and applied by each shard
+// only at per-stream window boundaries, so each released RuntimeAnswer
+// carries the epoch — hence the exact registration state — it was served
+// under.
 package patterndp
 
 import (
@@ -101,6 +111,13 @@ type (
 	RuntimeConfig = runtime.Config
 	// RuntimeAnswer is a released answer with serving provenance.
 	RuntimeAnswer = runtime.Answer
+	// Subscription is one consumer's cancellable handle on a query's
+	// released answers.
+	Subscription = runtime.Subscription
+	// Epoch numbers control-plane states; every registration change
+	// produces the next epoch and every answer carries the epoch it was
+	// served under.
+	Epoch = runtime.Epoch
 	// RuntimeStats is a point-in-time snapshot of a Runtime.
 	RuntimeStats = runtime.Stats
 	// ShardStats are one shard's serving counters.
@@ -143,6 +160,27 @@ var ErrRuntimeClosed = runtime.ErrClosed
 // ErrShardFailed is returned (wrapped) by Runtime.Ingest when the target
 // shard stopped serving after an engine error; Close reports the cause.
 var ErrShardFailed = runtime.ErrShardFailed
+
+// ErrUnknownQuery is returned (wrapped) by Runtime.Subscribe and
+// Runtime.UnregisterQuery for a query name with no registered query.
+var ErrUnknownQuery = runtime.ErrUnknownQuery
+
+// ErrUnknownPrivate is returned (wrapped) by Runtime.UnregisterPrivate for a
+// pattern-type name with no registered private type.
+var ErrUnknownPrivate = runtime.ErrUnknownPrivate
+
+// ErrLastPrivate is returned by Runtime.UnregisterPrivate when removing the
+// type would leave the runtime with an empty private set.
+var ErrLastPrivate = runtime.ErrLastPrivate
+
+// ErrStaticMechanism is returned by Runtime.RegisterPrivate when the runtime
+// was configured with only the static Mechanism factory; set
+// RuntimeConfig.MechanismFor to serve a dynamic private set.
+var ErrStaticMechanism = runtime.ErrStaticMechanism
+
+// ErrSubscriptionCancelled is reported by Subscription.Err after the
+// subscriber cancelled the subscription itself.
+var ErrSubscriptionCancelled = runtime.ErrSubscriptionCancelled
 
 // NewEvent constructs an event of the given type at the given logical time.
 func NewEvent(t EventType, ts Timestamp) Event { return event.New(t, ts) }

@@ -119,13 +119,16 @@ func TestPublicRuntimeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := rt.Subscribe("traffic-jam")
+	sub, err := rt.Subscribe("traffic-jam")
+	if err != nil {
+		t.Fatal(err)
+	}
 	detected := make(map[string][]bool)
 	var consumer sync.WaitGroup
 	consumer.Add(1)
 	go func() {
 		defer consumer.Done()
-		for a := range sub {
+		for a := range sub.C() {
 			detected[a.Stream] = append(detected[a.Stream], a.Detected)
 		}
 	}()
@@ -167,6 +170,101 @@ func TestPublicRuntimeEndToEnd(t *testing.T) {
 	}
 	if err := rt.Ingest(NewEvent("x", 1)); err != ErrRuntimeClosed {
 		t.Errorf("Ingest after Close = %v, want ErrRuntimeClosed", err)
+	}
+}
+
+// TestPublicRuntimeControlPlane is the control-plane acceptance scenario
+// through the public surface: while traffic flows, add a private pattern
+// type, add a query, subscribe to it, cancel the subscription, and
+// unregister the query — all without restarting, with every answer's epoch
+// naming a query set that contained its query.
+func TestPublicRuntimeControlPlane(t *testing.T) {
+	private, err := NewPatternType("hospital-trip", "enter-taxi", "near-hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(RuntimeConfig{
+		Shards:      4,
+		WindowWidth: 10,
+		MechanismFor: func(_ int, private []PatternType) (Mechanism, error) {
+			return NewUniformPPM(40, private...)
+		},
+		Private: []PatternType{private},
+		Targets: []Query{{Name: "jam", Pattern: SeqTypes("near-hospital", "slow-speed"), Window: 10}},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Background traffic across 4 streams while the control plane churns.
+	stop := make(chan struct{})
+	var producers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		producers.Add(1)
+		go func(i int) {
+			defer producers.Done()
+			key := fmt.Sprintf("taxi-%d", i)
+			for ts := Timestamp(0); ; ts += 5 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := rt.Ingest(NewEvent("near-hospital", ts).WithSource(key)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// A new data subject registers a private pattern type...
+	commute, err := NewPatternType("commute", "enter-taxi", "near-office")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RegisterPrivate(commute); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a new data consumer registers a query and subscribes.
+	epQ, err := rt.RegisterQuery(Query{Name: "near-hosp", Pattern: E("near-hospital"), Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rt.Subscribe("near-hosp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []RuntimeAnswer
+	for a := range sub.C() {
+		if a.Epoch < epQ {
+			t.Errorf("answer for %q under epoch %d, before its registration epoch %d", a.Query, a.Epoch, epQ)
+		}
+		got = append(got, a)
+		if len(got) == 8 {
+			break
+		}
+	}
+	// The consumer is done: cancel and unregister, serving keeps going.
+	sub.Cancel()
+	if sub.Err() != ErrSubscriptionCancelled {
+		t.Errorf("Err after Cancel = %v, want ErrSubscriptionCancelled", sub.Err())
+	}
+	epU, err := rt.UnregisterQuery(Query{Name: "near-hosp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epU <= epQ {
+		t.Errorf("epochs not monotonic: register %d, unregister %d", epQ, epU)
+	}
+	close(stop)
+	producers.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("answers on the live-registered query = %d, want 8", len(got))
 	}
 }
 
