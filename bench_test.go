@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -429,6 +430,117 @@ func BenchmarkRegisterChurn(b *testing.B) {
 		total += streams * len(base)
 	}
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
+}
+
+// hotPathQueries builds the target-query set of BenchmarkServeWindowHotPath:
+// selective queries require event types that never occur in the stream (and
+// are not private elements, so their released indicators stay false and the
+// compiled plans prune them), dense queries require types present in every
+// window.
+func hotPathQueries(selective bool) []cep.Query {
+	var qs []cep.Query
+	for i := 0; i < 12; i++ {
+		var p cep.Expr
+		if selective {
+			switch i % 3 {
+			case 0:
+				p = cep.SeqTypes("r0", "r1", "r2")
+			case 1:
+				p = cep.AndOf(cep.E("r0"), cep.SeqTypes("r1", "r2"))
+			default:
+				p = cep.SeqTypes(event.Type(fmt.Sprintf("r%d", i%4)), "r9")
+			}
+		} else {
+			switch i % 3 {
+			case 0:
+				p = cep.SeqTypes("c0", "c1", "c2")
+			case 1:
+				p = cep.AndOf(cep.E("c3"), cep.OrOf(cep.E("c4"), cep.NegOf(cep.E("c5"))))
+			default:
+				p = cep.SeqTypes(event.Type(fmt.Sprintf("c%d", i%8)), "c7")
+			}
+		}
+		qs = append(qs, cep.Query{Name: fmt.Sprintf("q%02d", i), Pattern: p, Window: 32})
+	}
+	return qs
+}
+
+// BenchmarkServeWindowHotPath measures the per-event cost of the full
+// serving path — batch ingest, incremental windowing with type-occurrence
+// tracking, per-epoch compiled plans, the mechanism, query answering, and
+// the answer bus — on selective queries (required types absent from the
+// stream) and dense queries (required types present in every window), at 1,
+// 4 and 8 shards. allocs/op is the allocation-discipline signal; events/s
+// the throughput signal. CI records the results in BENCH_serve.json.
+func BenchmarkServeWindowHotPath(b *testing.B) {
+	private, err := core.NewPatternType("p", "c0", "c1", "c2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	commons := make([]event.Type, 8)
+	for i := range commons {
+		commons[i] = event.Type(fmt.Sprintf("c%d", i))
+	}
+	const batch = 128
+	for _, mode := range []string{"selective", "dense"} {
+		for _, shards := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", mode, shards), func(b *testing.B) {
+				rt, err := runtime.New(runtime.Config{
+					Shards:      shards,
+					WindowWidth: 32,
+					Mechanism: func(int) (core.Mechanism, error) {
+						return core.NewUniformPPM(1, private)
+					},
+					Private: []core.PatternType{private},
+					Targets: hotPathQueries(mode == "selective"),
+					Seed:    42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sub, err := rt.Subscribe("q00")
+				if err != nil {
+					b.Fatal(err)
+				}
+				drained := make(chan struct{})
+				go func() {
+					defer close(drained)
+					for range sub.C() {
+					}
+				}()
+				var nextStream int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					key := fmt.Sprintf("stream-%d", atomic.AddInt64(&nextStream, 1))
+					var t event.Timestamp
+					buf := make([]event.Event, 0, batch)
+					flush := func() bool {
+						if err := rt.IngestBatch(buf); err != nil {
+							b.Error(err)
+							return false
+						}
+						buf = buf[:0]
+						return true
+					}
+					for pb.Next() {
+						buf = append(buf, event.New(commons[int(t)%len(commons)], t).WithSource(key))
+						t++
+						if len(buf) == batch && !flush() {
+							return
+						}
+					}
+					flush()
+				})
+				b.StopTimer()
+				if err := rt.Close(); err != nil {
+					b.Fatal(err)
+				}
+				<-drained
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
+	}
 }
 
 // BenchmarkPrivateEngineProcess measures the end-to-end service phase.

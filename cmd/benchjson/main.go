@@ -1,0 +1,86 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object mapping each benchmark name to its metrics, so CI can persist
+// hot-path results (BENCH_serve.json) as a comparable trajectory across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkServeWindowHotPath -benchmem . | go run ./cmd/benchjson
+//
+// Standard metrics become ns_per_op, bytes_per_op, allocs_per_op; custom
+// b.ReportMetric units (e.g. events/s) are kept under their own key with /
+// replaced by _per_.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	results := make(map[string]map[string]float64)
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then metric pairs: value unit.
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		metrics := make(map[string]float64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[metricKey(fields[i+1])] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		if _, seen := results[name]; !seen {
+			order = append(order, name)
+		}
+		results[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	// Emit in first-seen order for stable diffs.
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	for i, name := range order {
+		enc, err := json.Marshal(results[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&sb, "  %q: %s", name, enc)
+		if i < len(order)-1 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	os.Stdout.WriteString(sb.String())
+}
+
+// metricKey normalizes a benchmark unit into a JSON-friendly key:
+// "ns/op" → "ns_per_op", "events/s" → "events_per_s".
+func metricKey(unit string) string {
+	unit = strings.ReplaceAll(unit, "/", "_per_")
+	return strings.ReplaceAll(unit, "-", "_")
+}

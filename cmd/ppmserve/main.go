@@ -9,12 +9,19 @@
 //
 //	ppmserve -shards 8 -streams 32 -windows 500 -eps 1.0 -backpressure block
 //	ppmserve -churn 10
+//	ppmserve -batch 256 -cpuprofile cpu.out -memprofile mem.out
+//
+// The -cpuprofile/-memprofile flags write pprof profiles of the serving run,
+// so hot-path regressions can be diagnosed in the demo binary with
+// `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -39,15 +46,50 @@ func main() {
 		lateness = flag.Int64("lateness", 0, "allowed lateness (>0 enables the reorder buffer)")
 		horizon  = flag.Int64("horizon", 0, "max forward timestamp jump per stream (0 = unbounded)")
 		churn    = flag.Float64("churn", 0, "control-plane churn: probe-query (un)registrations per second")
+		batch    = flag.Int("batch", 1, "events per IngestBatch call (1 = per-event Ingest)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
-	if err := run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn); err != nil {
+	// profiledRun keeps the profile defers on a frame that returns before
+	// os.Exit, so a serving error still flushes a complete CPU profile.
+	profiledRun := func() error {
+		if *cpuProf != "" {
+			f, err := os.Create(*cpuProf)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return err
+			}
+			defer pprof.StopCPUProfile()
+		}
+		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch)
+	}
+	if err := profiledRun(); err != nil {
 		fmt.Fprintln(os.Stderr, "ppmserve:", err)
 		os.Exit(1)
 	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppmserve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		goruntime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ppmserve:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64) error {
+func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int) error {
+	if batch < 1 {
+		return fmt.Errorf("batch size %d must be >= 1", batch)
+	}
 	scfg := synth.DefaultConfig(seed)
 	scfg.NumWindows = windows
 	ds, err := synth.Generate(scfg)
@@ -148,19 +190,32 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	}
 
 	// One producer per stream, replaying the synthetic feed under its own
-	// stream key.
+	// stream key — batched through IngestBatch when -batch > 1.
 	var producers sync.WaitGroup
 	for i := 0; i < streams; i++ {
 		producers.Add(1)
 		go func(i int) {
 			defer producers.Done()
 			key := fmt.Sprintf("stream-%03d", i)
-			for _, e := range base {
-				if err := rt.Ingest(e.WithSource(key)); err != nil {
+			buf := make([]event.Event, 0, batch)
+			flush := func() bool {
+				if len(buf) == 0 {
+					return true
+				}
+				if err := rt.IngestBatch(buf); err != nil {
 					fmt.Fprintln(os.Stderr, "ingest:", err)
+					return false
+				}
+				buf = buf[:0]
+				return true
+			}
+			for _, e := range base {
+				buf = append(buf, e.WithSource(key))
+				if len(buf) == batch && !flush() {
 					return
 				}
 			}
+			flush()
 		}(i)
 	}
 	producers.Wait()
@@ -191,6 +246,9 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	bal := st.Balance()
 	fmt.Printf("shard balance: mean %.0f events/shard, stddev %.0f, min %.0f, max %.0f\n",
 		bal.Mean, bal.StdDev, bal.Min, bal.Max)
+	if st.RunsDropped > 0 {
+		fmt.Printf("matcher pressure: %d partial matches evicted (raise maxRuns or narrow queries)\n", st.RunsDropped)
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "\nshard\tstreams\tevents\twindows\tanswers\tdropped(late/future/ingest)")

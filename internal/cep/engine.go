@@ -54,26 +54,34 @@ type Detection struct {
 }
 
 // Engine is the trusted CEP engine: it owns the set of registered queries
-// and answers them over windows of the merged event stream. Engine is safe
-// for concurrent use.
+// and answers them over windows of the merged event stream. Each query is
+// compiled to a Plan at registration, so the per-window serving path never
+// re-traverses expression trees. Engine is safe for concurrent use.
 type Engine struct {
 	mu      sync.RWMutex
-	queries map[string]Query
+	queries map[string]*Plan
+	// snap is the immutable, name-sorted plan snapshot, rebuilt on every
+	// registration change: the serving path reads it with one RLock
+	// instead of copying and sorting the registry per window.
+	snap []*Plan
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{queries: make(map[string]Query)}
+	return &Engine{queries: make(map[string]*Plan)}
 }
 
-// Register adds a query. Registering a name twice replaces the old query.
+// Register adds a query, compiling it into the serving plan set.
+// Registering a name twice replaces the old query.
 func (g *Engine) Register(q Query) error {
-	if err := q.Validate(); err != nil {
+	p, err := Compile(q)
+	if err != nil {
 		return err
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.queries[q.Name] = q
+	g.queries[q.Name] = p
+	g.rebuild()
 	return nil
 }
 
@@ -82,38 +90,69 @@ func (g *Engine) Unregister(name string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	delete(g.queries, name)
+	g.rebuild()
+}
+
+// rebuild rematerializes the sorted plan snapshot; callers hold g.mu.
+func (g *Engine) rebuild() {
+	out := make([]*Plan, 0, len(g.queries))
+	for _, p := range g.queries {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].query.Name < out[j].query.Name })
+	g.snap = out
+}
+
+// plans returns the current plan snapshot. The returned slice is shared and
+// must not be modified.
+func (g *Engine) plans() []*Plan {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.snap
 }
 
 // Query returns the registered query with the given name.
 func (g *Engine) Query(name string) (Query, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	q, ok := g.queries[name]
-	return q, ok
+	p, ok := g.queries[name]
+	if !ok {
+		return Query{}, false
+	}
+	return p.query, true
 }
 
 // Queries returns all registered queries sorted by name.
 func (g *Engine) Queries() []Query {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]Query, 0, len(g.queries))
-	for _, q := range g.queries {
-		out = append(out, q)
+	plans := g.plans()
+	out := make([]Query, len(plans))
+	for i, p := range plans {
+		out[i] = p.query
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// RunsDropped reports the total partial matches evicted across the plans'
+// pooled NFA matchers (see NFA.Dropped) — the operator signal that maxRuns
+// bounds are biting.
+func (g *Engine) RunsDropped() uint64 {
+	var total uint64
+	for _, p := range g.plans() {
+		total += p.Dropped()
+	}
+	return total
 }
 
 // EvaluateWindow answers every registered query against one window and
 // returns detections sorted by query name.
 func (g *Engine) EvaluateWindow(w stream.Window) []Detection {
-	queries := g.Queries()
-	out := make([]Detection, 0, len(queries))
-	for _, q := range queries {
-		ok, witness := EvalWindow(q.Pattern, w)
-		d := Detection{Query: q.Name, Window: w, Detected: ok}
+	plans := g.plans()
+	out := make([]Detection, 0, len(plans))
+	for _, p := range plans {
+		ok, witness := p.EvalWindow(w)
+		d := Detection{Query: p.query.Name, Window: w, Detected: ok}
 		if ok {
-			d.Witness = event.Pattern{Name: q.Name, Events: witness}
+			d.Witness = event.Pattern{Name: p.query.Name, Events: witness}
 		}
 		out = append(out, d)
 	}

@@ -29,7 +29,10 @@ func EvalWindow(e Expr, w stream.Window) (bool, []event.Event) {
 	case *Seq:
 		return evalSeq(x.Parts, w, -1<<62)
 	case *And:
-		var witness []event.Event
+		// Each part contributes at least one witness event; pre-sizing
+		// from the part count avoids the append-growth reallocations of
+		// building the witness incrementally.
+		witness := make([]event.Event, 0, len(x.Parts))
 		for _, p := range x.Parts {
 			ok, evs := EvalWindow(p, w)
 			if !ok {
@@ -46,8 +49,9 @@ func EvalWindow(e Expr, w stream.Window) (bool, []event.Event) {
 		}
 		return false, nil
 	case *Neg:
-		ok, _ := EvalWindow(x.Inner, w)
-		return !ok, nil
+		// Only the boolean matters for the inner expression; the
+		// detect-only path skips witness materialization entirely.
+		return !Detect(x.Inner, w), nil
 	case *Times:
 		n, witness := countOccurrences(x.Inner, w)
 		if n < x.Min || (x.Max != 0 && n > x.Max) {
@@ -56,6 +60,85 @@ func EvalWindow(e Expr, w stream.Window) (bool, []event.Event) {
 		return true, witness
 	default:
 		panic(fmt.Sprintf("cep: unknown expression node %T", e))
+	}
+}
+
+// Detect is EvalWindow restricted to the boolean answer: it reports whether
+// the pattern occurs in the window without materializing a witness, so OR
+// and NEG branches (and the recursion below them) allocate nothing. Callers
+// that need the matching instance use EvalWindow.
+func Detect(e Expr, w stream.Window) bool {
+	switch x := e.(type) {
+	case *Atom:
+		for _, ev := range w.Events {
+			if x.Matches(ev) {
+				return true
+			}
+		}
+		return false
+	case *Seq:
+		return detectSeq(x.Parts, w, -1<<62)
+	case *And:
+		for _, p := range x.Parts {
+			if !Detect(p, w) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, p := range x.Parts {
+			if Detect(p, w) {
+				return true
+			}
+		}
+		return false
+	case *Neg:
+		return !Detect(x.Inner, w)
+	case *Times:
+		n := countOccurrencesDetect(x.Inner, w)
+		return n >= x.Min && (x.Max == 0 || n <= x.Max)
+	default:
+		panic(fmt.Sprintf("cep: unknown expression node %T", e))
+	}
+}
+
+// detectSeq is evalSeq without witness construction. Atom heads recurse
+// directly; composite heads still evaluate with a witness internally, since
+// the witness end bounds where the rest of the sequence may start.
+func detectSeq(parts []Expr, w stream.Window, after event.Timestamp) bool {
+	if len(parts) == 0 {
+		return true
+	}
+	head, rest := parts[0], parts[1:]
+	switch x := head.(type) {
+	case *Atom:
+		for _, ev := range w.Events {
+			if ev.Time <= after || !x.Matches(ev) {
+				continue
+			}
+			if detectSeq(rest, w, ev.Time) {
+				return true
+			}
+		}
+		return false
+	default:
+		sub := stream.Window{Start: w.Start, End: w.End}
+		for _, ev := range w.Events {
+			if ev.Time > after {
+				sub.Events = append(sub.Events, ev)
+			}
+		}
+		ok, evs := EvalWindow(head, sub)
+		if !ok {
+			return false
+		}
+		end := after
+		for _, ev := range evs {
+			if ev.Time > end {
+				end = ev.Time
+			}
+		}
+		return detectSeq(rest, w, end)
 	}
 }
 

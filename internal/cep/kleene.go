@@ -63,6 +63,38 @@ func (t *Times) validate() error {
 	return t.Inner.validate()
 }
 
+// countOccurrencesDetect is countOccurrences without witness accumulation:
+// each match's events are still needed to find where counting resumes, but
+// they are not appended into a growing witness slice.
+func countOccurrencesDetect(e Expr, w stream.Window) int {
+	count := 0
+	after := event.Timestamp(-1 << 62)
+	for {
+		sub := stream.Window{Start: w.Start, End: w.End}
+		for _, ev := range w.Events {
+			if ev.Time > after {
+				sub.Events = append(sub.Events, ev)
+			}
+		}
+		ok, evs := EvalWindow(e, sub)
+		if !ok {
+			return count
+		}
+		count++
+		end := after
+		for _, ev := range evs {
+			if ev.Time > end {
+				end = ev.Time
+			}
+		}
+		if end == after {
+			// Zero-width witness (e.g. NEG): avoid an infinite loop.
+			return count
+		}
+		after = end
+	}
+}
+
 // countOccurrences counts disjoint matches of the expression in temporal
 // order: after each match, counting resumes strictly after the match's last
 // event.

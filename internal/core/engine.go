@@ -47,14 +47,59 @@ type PrivateEngine struct {
 	mechanism Mechanism
 	private   []PatternType
 	targets   map[string]cep.Query
-	// snap is an immutable, name-sorted snapshot of targets, rebuilt on
-	// every registration change. The service phase reads the snapshot with
-	// one RLock instead of copying and sorting the map per call, and a
-	// whole ProcessWindows batch is answered against one consistent target
-	// set even while registrations churn.
-	snap  []cep.Query
+	// snap is an immutable snapshot of the serving state — the name-sorted
+	// target queries, their compiled plans, and the relevant-type union —
+	// rebuilt on every registration change. The service phase reads the
+	// snapshot with one RLock instead of re-deriving types and re-walking
+	// expression trees per call, and a whole ProcessWindows batch is
+	// answered against one consistent target set even while registrations
+	// churn.
+	snap  *planSet
 	seed  int64
 	calls atomic.Int64
+}
+
+// planSet is one immutable epoch of the engine's serving state: the sorted
+// target queries, the compiled plan of each (parallel to targets), and the
+// union of private-pattern element types and target-query types that
+// indicators must cover. Compiled once per registration change, shared by
+// every in-flight service call.
+type planSet struct {
+	targets []cep.Query
+	plans   []*cep.Plan
+	types   []event.Type
+}
+
+// buildPlanSet compiles the serving state for a sorted target snapshot.
+// Queries are validated at registration, so compilation cannot fail; a
+// defensive nil plan falls back to the tree interpreter in the answer loop.
+func buildPlanSet(private []PatternType, targets []cep.Query, plans []*cep.Plan) *planSet {
+	ps := &planSet{targets: targets, plans: plans}
+	if ps.plans == nil {
+		ps.plans = make([]*cep.Plan, len(targets))
+		for i, q := range targets {
+			if p, err := cep.Compile(q); err == nil {
+				ps.plans[i] = p
+			}
+		}
+	}
+	seen := make(map[event.Type]bool)
+	add := func(ts []event.Type) {
+		for _, t := range ts {
+			if !seen[t] {
+				seen[t] = true
+				ps.types = append(ps.types, t)
+			}
+		}
+	}
+	for _, pt := range private {
+		add(pt.Elements)
+	}
+	for _, q := range targets {
+		add(q.Pattern.Types())
+	}
+	sort.Slice(ps.types, func(i, j int) bool { return ps.types[i] < ps.types[j] })
+	return ps
 }
 
 // NewPrivateEngine builds an engine around the given mechanism and the
@@ -66,12 +111,14 @@ func NewPrivateEngine(m Mechanism, private []PatternType, seed int64) (*PrivateE
 	if len(private) == 0 {
 		return nil, fmt.Errorf("core: no private pattern types registered")
 	}
-	return &PrivateEngine{
+	pe := &PrivateEngine{
 		mechanism: m,
 		private:   private,
 		targets:   make(map[string]cep.Query),
 		seed:      seed,
-	}, nil
+	}
+	pe.snap = buildPlanSet(private, nil, nil)
+	return pe, nil
 }
 
 // MixSeed derives a decorrelated child seed from a parent seed and a step
@@ -105,13 +152,34 @@ func (s *splitmix64Source) Uint64() uint64 {
 func (s *splitmix64Source) Int63() int64    { return int64(s.Uint64() >> 1) }
 func (s *splitmix64Source) Seed(seed int64) { s.state = uint64(seed) }
 
-// callRNG returns a fresh RNG for one service call, seeded from the engine
-// seed and the call index via MixSeed. Sequential callers therefore stay
-// reproducible while concurrent callers each get independent randomness.
-func (pe *PrivateEngine) callRNG() *rand.Rand {
-	n := pe.calls.Add(1) // 1-based so call 0 does not reuse the raw seed
-	return rand.New(&splitmix64Source{state: uint64(MixSeed(pe.seed, n))})
+// rngPool recycles per-call RNGs: the Rand and its source are reseeded on
+// every acquisition, so pooling changes no released noise sequence — it only
+// removes two allocations from the service hot path.
+var rngPool = sync.Pool{
+	New: func() any {
+		p := &pooledRNG{}
+		p.r = rand.New(&p.src)
+		return p
+	},
 }
+
+type pooledRNG struct {
+	src splitmix64Source
+	r   *rand.Rand
+}
+
+// callRNG returns an RNG for one service call, seeded from the engine seed
+// and the call index via MixSeed. Sequential callers therefore stay
+// reproducible while concurrent callers each get independent randomness.
+// Callers return it to the pool via putRNG once the mechanism has run.
+func (pe *PrivateEngine) callRNG() *pooledRNG {
+	n := pe.calls.Add(1) // 1-based so call 0 does not reuse the raw seed
+	p := rngPool.Get().(*pooledRNG)
+	p.r.Seed(MixSeed(pe.seed, n))
+	return p
+}
+
+func putRNG(p *pooledRNG) { rngPool.Put(p) }
 
 // RegisterTarget adds a data consumer's target query, replacing any
 // registered query with the same name.
@@ -162,20 +230,20 @@ func (pe *PrivateEngine) SetTargets(qs []cep.Query) error {
 	return nil
 }
 
-// rebuildSnapshot rematerializes the sorted target snapshot; callers hold
-// pe.mu.
+// rebuildSnapshot rematerializes the sorted serving snapshot, compiling a
+// plan per target; callers hold pe.mu.
 func (pe *PrivateEngine) rebuildSnapshot() {
 	out := make([]cep.Query, 0, len(pe.targets))
 	for _, q := range pe.targets {
 		out = append(out, q)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	pe.snap = out
+	pe.snap = buildPlanSet(pe.private, out, nil)
 }
 
-// snapshot returns the current target snapshot. The returned slice is shared
-// and must not be modified.
-func (pe *PrivateEngine) snapshot() []cep.Query {
+// snapshot returns the current serving snapshot. The returned set and its
+// slices are shared and must not be modified.
+func (pe *PrivateEngine) snapshot() *planSet {
 	pe.mu.RLock()
 	defer pe.mu.RUnlock()
 	return pe.snap
@@ -183,64 +251,198 @@ func (pe *PrivateEngine) snapshot() []cep.Query {
 
 // Targets returns the registered target queries sorted by name.
 func (pe *PrivateEngine) Targets() []cep.Query {
-	snap := pe.snapshot()
+	snap := pe.snapshot().targets
 	out := make([]cep.Query, len(snap))
 	copy(out, snap)
 	return out
 }
 
-// relevantTypes returns the union of private-pattern element types and
-// target-query types, so indicators cover everything queries may reference.
-// The caller supplies its Targets() snapshot so the streaming hot path
-// (one ProcessWindows per closed window) builds the target list only once.
-func (pe *PrivateEngine) relevantTypes(targets []cep.Query) []event.Type {
-	seen := make(map[event.Type]bool)
-	var out []event.Type
-	add := func(ts []event.Type) {
-		for _, t := range ts {
-			if !seen[t] {
-				seen[t] = true
-				out = append(out, t)
-			}
+// SetTargetPlans replaces the registered target set with already-compiled
+// plans, name-sorted — the streaming runtime's control plane compiles each
+// query once per epoch and hands every shard's engine the same shared plan
+// set, instead of each shard recompiling on SetTargets.
+func (pe *PrivateEngine) SetTargetPlans(plans []*cep.Plan) error {
+	for i := range plans {
+		if plans[i] == nil {
+			return fmt.Errorf("core: nil plan at index %d", i)
 		}
 	}
-	for _, pt := range pe.private {
-		add(pt.Elements)
+	// Sort queries and plans as pairs, so an unsorted caller can never
+	// pair a query name with another query's plan.
+	plans = append([]*cep.Plan(nil), plans...)
+	sort.Slice(plans, func(i, j int) bool { return plans[i].Query().Name < plans[j].Query().Name })
+	targets := make([]cep.Query, len(plans))
+	for i, p := range plans {
+		targets[i] = p.Query()
 	}
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	pe.targets = make(map[string]cep.Query, len(targets))
 	for _, q := range targets {
-		add(q.Pattern.Types())
+		pe.targets[q.Name] = q
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	pe.snap = buildPlanSet(pe.private, targets, plans)
+	return nil
+}
+
+// RunsDropped reports the total partial matches evicted across the target
+// plans' pooled NFA matchers — the maxRuns pressure signal, aggregated for
+// operator snapshots.
+func (pe *PrivateEngine) RunsDropped() uint64 {
+	var total uint64
+	for _, p := range pe.snapshot().plans {
+		if p != nil {
+			total += p.Dropped()
+		}
+	}
+	return total
+}
+
+// indicatorScratch is the reusable buffer of one ProcessWindows call: the
+// indicator-window slice and its per-window maps are cleared and refilled
+// instead of reallocated. Safe because Mechanism.Run must not retain its
+// input windows (see the interface contract).
+type indicatorScratch struct {
+	wins []IndicatorWindow
+	// counts holds the scratch-owned Counts maps, parallel to wins,
+	// cleared and refilled instead of reallocated.
+	counts []map[event.Type]int
+	// released holds the scratch-owned release maps handed to a
+	// ReleaseReuser mechanism, parallel to wins; prepared only when
+	// requested.
+	released []map[event.Type]bool
+	// lastTypes remembers the type slice of the previous fill and fresh
+	// how many leading wins entries that fill wrote: when the same
+	// plan-set epoch fills again (the steady serving state), those
+	// entries' Present maps already hold exactly these keys and are
+	// overwritten in place instead of cleared and rebuilt.
+	lastTypes []event.Type
+	fresh     int
+}
+
+// sameTypes reports whether two type slices are the identical slice.
+func sameTypes(a, b []event.Type) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+var indicatorPool = sync.Pool{New: func() any { return new(indicatorScratch) }}
+
+// fill rebuilds the scratch to mirror ws over the given types. When
+// wantReleased is set it also prepares one release map per window for a
+// ReleaseReuser mechanism.
+func (sc *indicatorScratch) fill(ws []stream.Window, types []event.Type, wantReleased bool) []IndicatorWindow {
+	// Grow each slice against its own capacity: append can round the
+	// backing arrays up to different size classes, so one guard for all
+	// three would leave the smaller ones behind and panic on reslice.
+	if n := len(ws); cap(sc.wins) < n {
+		sc.wins = append(sc.wins[:cap(sc.wins)], make([]IndicatorWindow, n-cap(sc.wins))...)
+	}
+	if n := len(ws); cap(sc.counts) < n {
+		sc.counts = append(sc.counts[:cap(sc.counts)], make([]map[event.Type]int, n-cap(sc.counts))...)
+	}
+	if n := len(ws); cap(sc.released) < n {
+		sc.released = append(sc.released[:cap(sc.released)], make([]map[event.Type]bool, n-cap(sc.released))...)
+	}
+	sc.wins = sc.wins[:len(ws)]
+	sc.counts = sc.counts[:len(ws)]
+	sc.released = sc.released[:len(ws)]
+	reuseKeys := sameTypes(types, sc.lastTypes)
+	fresh := sc.fresh
+	sc.lastTypes = types
+	if len(ws) > fresh || !reuseKeys {
+		sc.fresh = len(ws)
+	}
+	for i := range sc.wins {
+		iw := &sc.wins[i]
+		iw.Index = i
+		refill := !reuseKeys || i >= fresh
+		if iw.Present == nil {
+			iw.Present = make(map[event.Type]bool, len(types))
+		} else if refill {
+			clear(iw.Present)
+		}
+		if sc.counts[i] == nil {
+			sc.counts[i] = make(map[event.Type]int, len(types))
+		} else if refill {
+			clear(sc.counts[i])
+		}
+		iw.Counts = sc.counts[i]
+		if wantReleased {
+			if sc.released[i] == nil {
+				sc.released[i] = make(map[event.Type]bool, len(types))
+			} else if refill {
+				clear(sc.released[i])
+			}
+		}
+		// Window.Count reads the windower's tally when present, so
+		// indexing a served window never rescans its events.
+		for _, t := range types {
+			c := ws[i].Count(t)
+			iw.Counts[t] = c
+			iw.Present[t] = c > 0
+		}
+	}
+	return sc.wins
 }
 
 // ProcessWindows runs the service phase over a batch of windows: perturb
 // indicators with the mechanism, then answer every target query on the
 // released indicators. Answers are ordered by window then query name.
 func (pe *PrivateEngine) ProcessWindows(ws []stream.Window) ([]Answer, error) {
-	targets := pe.snapshot()
-	if len(targets) == 0 {
+	return pe.ProcessWindowsInto(nil, ws)
+}
+
+// ProcessWindowsInto is ProcessWindows appending into dst, so a streaming
+// caller can reuse one answer buffer across calls: answers are valid until
+// the caller reuses the buffer. Windows that carry TypeCounts (cut by the
+// streaming Windower) are indexed without rescanning their events.
+func (pe *PrivateEngine) ProcessWindowsInto(dst []Answer, ws []stream.Window) ([]Answer, error) {
+	ps := pe.snapshot()
+	if len(ps.targets) == 0 {
 		return nil, fmt.Errorf("core: no target queries registered")
 	}
-	types := pe.relevantTypes(targets)
-	iws := IndicatorWindows(ws, types)
-	released := pe.mechanism.Run(pe.callRNG(), iws)
+	reuser, reuse := pe.mechanism.(ReleaseReuser)
+	scratch := indicatorPool.Get().(*indicatorScratch)
+	iws := scratch.fill(ws, ps.types, reuse)
+	rng := pe.callRNG()
+	var released []map[event.Type]bool
+	if reuse {
+		released = reuser.RunInto(rng.r, iws, scratch.released)
+	} else {
+		released = pe.mechanism.Run(rng.r, iws)
+	}
+	putRNG(rng)
 	if len(released) != len(ws) {
+		indicatorPool.Put(scratch)
 		return nil, fmt.Errorf("core: mechanism %q returned %d windows for %d inputs",
 			pe.mechanism.Name(), len(released), len(ws))
 	}
-	answers := make([]Answer, 0, len(ws)*len(targets))
+	// The scratch (including pooled release maps) stays out of the pool
+	// until the answers below have been computed from it.
+	defer indicatorPool.Put(scratch)
+	if need := len(dst) + len(ws)*len(ps.targets); cap(dst) < need {
+		grown := make([]Answer, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
 	for i, w := range ws {
-		for _, q := range targets {
-			answers = append(answers, Answer{
+		rel := released[i]
+		for j, q := range ps.targets {
+			detected := false
+			if p := ps.plans[j]; p != nil {
+				detected = p.EvalIndicators(rel)
+			} else {
+				detected = cep.EvalIndicators(q.Pattern, rel)
+			}
+			dst = append(dst, Answer{
 				Query:       q.Name,
 				WindowIndex: i,
 				Window:      w,
-				Detected:    cep.EvalIndicators(q.Pattern, released[i]),
+				Detected:    detected,
 			})
 		}
 	}
-	return answers, nil
+	return dst, nil
 }
 
 // ProcessEvents cuts a time-ordered event slice into tumbling windows of the

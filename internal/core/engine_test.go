@@ -178,7 +178,7 @@ func TestRelevantTypesUnion(t *testing.T) {
 	pt := mustPT(t, "priv", "a", "b")
 	pe, _ := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
 	pe.RegisterTarget(cep.Query{Name: "t", Pattern: cep.SeqTypes("b", "c"), Window: 5})
-	types := pe.relevantTypes(pe.Targets())
+	types := pe.snapshot().types
 	if len(types) != 3 {
 		t.Fatalf("relevantTypes = %v", types)
 	}
@@ -187,5 +187,92 @@ func TestRelevantTypesUnion(t *testing.T) {
 		if types[i] != want[i] {
 			t.Errorf("relevantTypes = %v, want %v", types, want)
 		}
+	}
+}
+
+// TestIndicatorScratchStaleKeys pins the fill fast path: when the relevant
+// type set changes between fills of different batch lengths, no Present map
+// may retain keys from an older type set (mechanisms iterate Present, so a
+// stale key would change the released indicator set).
+func TestIndicatorScratchStaleKeys(t *testing.T) {
+	mk := func(n int) []stream.Window {
+		ws := make([]stream.Window, n)
+		for i := range ws {
+			ws[i] = stream.Window{Start: event.Timestamp(i * 10), End: event.Timestamp(i*10 + 10)}
+		}
+		return ws
+	}
+	sc := new(indicatorScratch)
+	t1 := []event.Type{"a", "b", "c"}
+	t2 := []event.Type{"x"}
+	sc.fill(mk(5), t1, true)
+	sc.fill(mk(2), t2, true)
+	wins := sc.fill(mk(5), t2, true) // entries 2..4 were last written under t1
+	for i, iw := range wins {
+		if len(iw.Present) != len(t2) {
+			t.Fatalf("window %d: Present has %d keys %v, want exactly %v", i, len(iw.Present), iw.Present, t2)
+		}
+		if _, ok := iw.Present["x"]; !ok {
+			t.Fatalf("window %d: Present missing x: %v", i, iw.Present)
+		}
+	}
+	// Steady state: same types, same length — keys overwritten in place.
+	wins = sc.fill(mk(5), t2, true)
+	for i, iw := range wins {
+		if len(iw.Present) != 1 {
+			t.Fatalf("steady window %d: Present = %v", i, iw.Present)
+		}
+	}
+}
+
+// TestIndicatorScratchGrowth pins the independent-capacity growth of the
+// scratch slices: Go's append can round the parallel backing arrays to
+// different size classes, so growing batch sizes (5, 6, 8 reproduces the
+// original panic) must not reslice a smaller sibling out of range.
+func TestIndicatorScratchGrowth(t *testing.T) {
+	mk := func(n int) []stream.Window {
+		ws := make([]stream.Window, n)
+		for i := range ws {
+			ws[i] = stream.Window{Start: event.Timestamp(i * 10), End: event.Timestamp(i*10 + 10)}
+		}
+		return ws
+	}
+	sc := new(indicatorScratch)
+	types := []event.Type{"a"}
+	for _, n := range []int{5, 6, 8, 3, 17, 1} {
+		wins := sc.fill(mk(n), types, true)
+		if len(wins) != n || len(sc.counts) != n || len(sc.released) != n {
+			t.Fatalf("fill(%d): wins=%d counts=%d released=%d", n, len(wins), len(sc.counts), len(sc.released))
+		}
+	}
+}
+
+// TestSetTargetPlansUnsorted asserts that plans handed in out of name order
+// are paired with their own queries, not positionally.
+func TestSetTargetPlansUnsorted(t *testing.T) {
+	pt := mustPT(t, "priv", "a")
+	pe, _ := NewPrivateEngine(Identity{}, []PatternType{pt}, 1)
+	planB := cep.MustCompile(cep.Query{Name: "bb", Pattern: cep.E("b"), Window: 10})
+	planA := cep.MustCompile(cep.Query{Name: "aa", Pattern: cep.E("a"), Window: 10})
+	if err := pe.SetTargetPlans([]*cep.Plan{planB, planA}); err != nil {
+		t.Fatal(err)
+	}
+	answers, err := pe.ProcessEvents([]event.Event{event.New("a", 1)}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("answers = %+v", answers)
+	}
+	// The window holds only "a": query aa must detect, bb must not. A
+	// positional mispairing would flip both.
+	if answers[0].Query != "aa" || !answers[0].Detected {
+		t.Errorf("answer 0 = %+v, want aa detected", answers[0])
+	}
+	if answers[1].Query != "bb" || answers[1].Detected {
+		t.Errorf("answer 1 = %+v, want bb not detected", answers[1])
+	}
+	if err := pe.SetTargetPlans([]*cep.Plan{nil}); err == nil {
+		t.Error("nil plan accepted")
 	}
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"patterndp/internal/dp"
 	"patterndp/internal/event"
@@ -18,6 +18,9 @@ type IndicatorWindow struct {
 	// Present maps each relevant event type to its existence indicator.
 	Present map[event.Type]bool
 	// Counts maps each relevant event type to its occurrence count.
+	// Mechanisms must treat it (like Present) as read-only: on the
+	// serving hot path both maps are pooled buffers recycled between
+	// service calls.
 	Counts map[event.Type]int
 }
 
@@ -51,12 +54,19 @@ func IndicatorWindows(ws []stream.Window, types []event.Type) []IndicatorWindow 
 // mechanisms consume randomness in a deterministic order regardless of map
 // iteration.
 func SortedTypes(present map[event.Type]bool) []event.Type {
-	out := make([]event.Type, 0, len(present))
+	return sortedTypesInto(nil, present)
+}
+
+// sortedTypesInto is SortedTypes reusing dst's capacity, for mechanisms that
+// sort the same key set once per window of a batch. slices.Sort keeps it
+// allocation-free where sort.Slice would allocate a swapper per call.
+func sortedTypesInto(dst []event.Type, present map[event.Type]bool) []event.Type {
+	dst = dst[:0]
 	for t := range present {
-		out = append(out, t)
+		dst = append(dst, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(dst)
+	return dst
 }
 
 // ClonePresent returns a copy of the presence map.
@@ -80,8 +90,23 @@ type Mechanism interface {
 	// (after conversion, for non-pattern-level baselines).
 	TotalEpsilon() dp.Epsilon
 	// Run perturbs the window sequence and returns the released
-	// indicators for each window.
+	// indicators for each window. The input windows and rng are only
+	// valid for the duration of the call: implementations must neither
+	// retain them nor alias their maps into the returned release maps
+	// (the serving engine recycles the input buffers between calls).
 	Run(rng *rand.Rand, wins []IndicatorWindow) []map[event.Type]bool
+}
+
+// ReleaseReuser is an optional Mechanism extension for the serving hot
+// path: RunInto behaves exactly like Run — same semantics, same randomness
+// consumption — but writes each window's released indicators into the
+// corresponding pre-cleared map of released (guaranteed to have
+// len(released) == len(wins)) instead of allocating fresh maps. The engine
+// recycles those maps between calls, so implementations must not retain
+// them after returning; mechanisms whose releases escape the call (e.g.
+// into republication state) should not implement the extension.
+type ReleaseReuser interface {
+	RunInto(rng *rand.Rand, wins []IndicatorWindow, released []map[event.Type]bool) []map[event.Type]bool
 }
 
 // Identity is the no-op mechanism: it releases true indicators unchanged.

@@ -110,9 +110,34 @@ func (u *UniformPPM) PerturbWindow(rng *rand.Rand, present map[event.Type]bool) 
 
 // Run implements Mechanism: windows are perturbed independently.
 func (u *UniformPPM) Run(rng *rand.Rand, wins []IndicatorWindow) []map[event.Type]bool {
-	out := make([]map[event.Type]bool, len(wins))
-	for i, w := range wins {
-		out[i] = u.PerturbWindow(rng, w.Present)
+	return u.RunInto(rng, wins, make([]map[event.Type]bool, len(wins)))
+}
+
+// RunInto implements ReleaseReuser, reusing the caller's release maps. The
+// sort scratch is shared across the batch, but each window's types are
+// sorted individually, so randomness is consumed in exactly PerturbWindow's
+// order and seeded releases are unchanged.
+func (u *UniformPPM) RunInto(rng *rand.Rand, wins []IndicatorWindow, released []map[event.Type]bool) []map[event.Type]bool {
+	var types []event.Type
+	if len(wins) > 0 {
+		types = make([]event.Type, 0, len(wins[0].Present))
 	}
-	return out
+	for i, w := range wins {
+		types = sortedTypesInto(types, w.Present)
+		rel := released[i]
+		if rel == nil {
+			rel = make(map[event.Type]bool, len(w.Present))
+		}
+		for _, t := range types {
+			bit := w.Present[t]
+			for _, p := range u.flips[t] {
+				if rng.Float64() < p {
+					bit = !bit
+				}
+			}
+			rel[t] = bit
+		}
+		released[i] = rel
+	}
+	return released
 }

@@ -7,6 +7,7 @@ package event
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -243,8 +244,29 @@ func (e Event) Before(o Event) bool {
 }
 
 // SortEvents sorts a slice of events into canonical stream order in place.
+// Streams mostly arrive in order, so an O(n) sortedness check runs first;
+// slices.SortFunc keeps the slow path allocation-free, where sort.Slice
+// would allocate a reflect-based swapper per call.
 func SortEvents(evs []Event) {
-	sort.Slice(evs, func(i, j int) bool { return evs[i].Before(evs[j]) })
+	sorted := true
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Before(evs[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	slices.SortFunc(evs, func(a, b Event) int {
+		if a.Before(b) {
+			return -1
+		}
+		if b.Before(a) {
+			return 1
+		}
+		return 0
+	})
 }
 
 // TypesOf extracts the event types of a slice in order.

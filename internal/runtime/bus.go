@@ -192,6 +192,33 @@ func (b *bus) publish(a Answer) {
 	}
 }
 
+// pubTarget pairs a subscription with the index of the batched answer it is
+// to receive.
+type pubTarget struct {
+	sub *Subscription
+	idx int32
+}
+
+// collect gathers the delivery targets for a whole answer batch under a
+// single reader lock, appending into the caller's reusable scratch — the
+// batched form of publish's lookup phase. The caller performs the sends
+// outside the lock, preserving publish's property that a slow subscriber
+// never blocks subscription changes.
+func (b *bus) collect(dst []pubTarget, answers []Answer) []pubTarget {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	all := b.subs[""]
+	for i := range answers {
+		for s := range b.subs[answers[i].Query] {
+			dst = append(dst, pubTarget{s, int32(i)})
+		}
+		for s := range all {
+			dst = append(dst, pubTarget{s, int32(i)})
+		}
+	}
+	return dst
+}
+
 // close terminates every remaining subscription with a nil reason (normal
 // end of stream). The runtime only calls it after all shards have drained,
 // so no publish can be in flight.

@@ -53,6 +53,12 @@ type controlState struct {
 	private []core.PatternType
 	// targets are the registered target queries, sorted by name.
 	targets []cep.Query
+	// plans are the targets' compiled query plans, parallel to targets.
+	// They are compiled once per epoch, here, and shared read-only by
+	// every shard's engine — plans are immutable and safe for concurrent
+	// evaluation, so applying a query epoch costs a shard one snapshot
+	// swap instead of a recompilation.
+	plans []*cep.Plan
 	// queries indexes targets by name.
 	queries map[string]bool
 }
@@ -81,7 +87,18 @@ func newControlState(private []core.PatternType, targets []cep.Query) *controlSt
 		st.queries[name] = true
 	}
 	sort.Slice(st.targets, func(i, j int) bool { return st.targets[i].Name < st.targets[j].Name })
+	st.recompile()
 	return st
+}
+
+// recompile rebuilds the epoch's compiled plan set from its target queries.
+// Queries are validated before they reach a control state (Config.validate
+// at construction, RegisterQuery while serving), so compilation cannot fail.
+func (st *controlState) recompile() {
+	st.plans = make([]*cep.Plan, len(st.targets))
+	for i, q := range st.targets {
+		st.plans[i] = cep.MustCompile(q)
+	}
 }
 
 // clone copies the state so a mutation never aliases a published epoch.
@@ -91,6 +108,7 @@ func (st *controlState) clone() *controlState {
 		privEpoch: st.privEpoch,
 		private:   append([]core.PatternType(nil), st.private...),
 		targets:   append([]cep.Query(nil), st.targets...),
+		plans:     st.plans, // replaced by recompile when targets change
 		queries:   make(map[string]bool, len(st.queries)),
 	}
 	for name := range st.queries {
@@ -200,11 +218,13 @@ func (rt *Runtime) RegisterQuery(q cep.Query) (Epoch, error) {
 					break
 				}
 			}
+			st.recompile()
 			return nil
 		}
 		st.targets = append(st.targets, q)
 		sort.Slice(st.targets, func(i, j int) bool { return st.targets[i].Name < st.targets[j].Name })
 		st.queries[q.Name] = true
+		st.recompile()
 		return nil
 	})
 }
@@ -225,6 +245,7 @@ func (rt *Runtime) UnregisterQuery(q cep.Query) (Epoch, error) {
 				break
 			}
 		}
+		st.recompile()
 		return nil
 	})
 }

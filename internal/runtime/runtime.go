@@ -105,7 +105,9 @@ type Config struct {
 	EvictAfter int64
 	// Backpressure selects the full-ingest-channel policy.
 	Backpressure BackpressurePolicy
-	// ShardBuffer is each shard's ingest-channel capacity. Default: 256.
+	// ShardBuffer is each shard's ingest-channel capacity, counted in
+	// messages: a message is one Ingest event or one IngestBatch
+	// sub-batch. Default: 256.
 	ShardBuffer int
 	// SubscriberBuffer is each subscription's channel capacity. Default: 64.
 	SubscriberBuffer int
@@ -148,6 +150,11 @@ func (c Config) validate() error {
 	case c.SubscriberBuffer < 0:
 		return fmt.Errorf("runtime: SubscriberBuffer = %d", c.SubscriberBuffer)
 	}
+	for _, q := range c.Targets {
+		if err := q.Validate(); err != nil {
+			return fmt.Errorf("runtime: target query: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -170,6 +177,10 @@ type Runtime struct {
 	// (readers go straight to the atomic pointer).
 	ctl   atomic.Pointer[controlState]
 	ctlMu sync.Mutex
+
+	// batchPool recycles the per-shard sub-batches IngestBatch routes
+	// through the shard channels; shards return them after serving.
+	batchPool sync.Pool
 
 	mu     sync.RWMutex
 	closed bool
@@ -207,7 +218,7 @@ func New(cfg Config) (*Runtime, error) {
 			rt:      rt,
 			engine:  eng,
 			cur:     st,
-			in:      make(chan event.Event, cfg.ShardBuffer),
+			in:      make(chan ingestMsg, cfg.ShardBuffer),
 			streams: make(map[string]*streamState),
 		})
 	}
@@ -244,7 +255,7 @@ func (rt *Runtime) buildEngine(shard int, st *controlState) (*core.PrivateEngine
 	if err != nil {
 		return nil, fmt.Errorf("runtime: shard %d engine: %w", shard, err)
 	}
-	if err := eng.SetTargets(st.targets); err != nil {
+	if err := eng.SetTargetPlans(st.plans); err != nil {
 		return nil, fmt.Errorf("runtime: shard %d targets: %w", shard, err)
 	}
 	return eng, nil
@@ -283,32 +294,146 @@ func (rt *Runtime) IngestContext(ctx context.Context, e event.Event) error {
 		return ErrClosed
 	}
 	sh := rt.shards[rt.cfg.Sharder.Shard(streamKey(e), len(rt.shards))]
+	return rt.send(ctx, sh, ingestMsg{ev: e})
+}
+
+// IngestBatch routes a batch of events to their streams' shards with one
+// channel operation per touched shard, amortizing the per-event
+// synchronization cost of Ingest — the bulk path for high-rate producers.
+// Relative order is preserved per stream key. The input slice is copied and
+// stays owned by the caller, who may reuse it immediately. Like Ingest,
+// events of one stream key must be batched from one goroutine only (or
+// externally ordered).
+func (rt *Runtime) IngestBatch(evs []event.Event) error {
+	return rt.IngestBatchContext(context.Background(), evs)
+}
+
+// IngestBatchContext is IngestBatch with cancellation plumbed through the
+// backpressure waits. On error, events already handed to shards stay
+// ingested; the remainder of the batch is discarded — producers that need
+// exactly-once delivery should treat a batch error as fatal for the stream.
+func (rt *Runtime) IngestBatchContext(ctx context.Context, evs []event.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	n := len(rt.shards)
+	// Batches are usually runs of one stream key, so the shard of the
+	// previous key is cached and re-hashing only happens on key change.
+	lastKey := streamKey(evs[0])
+	lastShard := rt.cfg.Sharder.Shard(lastKey, n)
+	route := func(e event.Event) int {
+		if k := streamKey(e); k != lastKey {
+			lastKey = k
+			lastShard = rt.cfg.Sharder.Shard(k, n)
+		}
+		return lastShard
+	}
+	// Single-shard fast path: the common case of one producer batching
+	// one stream needs no routing table, just one pooled copy.
+	first := lastShard
+	single := true
+	for _, e := range evs[1:] {
+		if route(e) != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		return rt.send(ctx, rt.shards[first], ingestMsg{batch: rt.copyBatch(evs)})
+	}
+	// Partition into per-shard sub-batches, preserving input order within
+	// each shard (hence per stream key).
+	buckets := make([][]event.Event, n)
+	for _, e := range evs {
+		i := route(e)
+		if buckets[i] == nil {
+			buckets[i] = rt.newBatch(len(evs))
+		}
+		buckets[i] = append(buckets[i], e)
+	}
+	for i, b := range buckets {
+		if b == nil {
+			continue
+		}
+		if err := rt.send(ctx, rt.shards[i], ingestMsg{batch: b}); err != nil {
+			for _, rest := range buckets[i+1:] {
+				if rest != nil {
+					rt.recycleBatch(rest)
+				}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// send delivers one message to a shard under the configured backpressure
+// policy. Callers hold rt.mu.RLock.
+func (rt *Runtime) send(ctx context.Context, sh *shard, msg ingestMsg) error {
 	if sh.failed.Load() {
+		if msg.batch != nil {
+			rt.recycleBatch(msg.batch)
+		}
 		return fmt.Errorf("runtime: shard %d: %w", sh.id, ErrShardFailed)
 	}
 	if rt.cfg.Backpressure == DropOldest {
 		for {
 			select {
-			case sh.in <- e:
+			case sh.in <- msg:
 				return nil
 			default:
 			}
 			if err := ctx.Err(); err != nil {
+				if msg.batch != nil {
+					rt.recycleBatch(msg.batch)
+				}
 				return err
 			}
 			select {
-			case <-sh.in:
-				sh.stats.droppedIngest.Inc()
+			case old := <-sh.in:
+				sh.stats.droppedIngest.Add(old.size())
+				if old.batch != nil {
+					rt.recycleBatch(old.batch)
+				}
 			default:
 			}
 		}
 	}
 	select {
-	case sh.in <- e:
+	case sh.in <- msg:
 		return nil
 	case <-ctx.Done():
+		if msg.batch != nil {
+			rt.recycleBatch(msg.batch)
+		}
 		return ctx.Err()
 	}
+}
+
+// newBatch takes a pooled event buffer with capacity for up to n events.
+func (rt *Runtime) newBatch(n int) []event.Event {
+	if b, ok := rt.batchPool.Get().(*[]event.Event); ok {
+		return (*b)[:0]
+	}
+	return make([]event.Event, 0, n)
+}
+
+// copyBatch copies the caller's events into a pooled buffer the shard will
+// recycle after serving.
+func (rt *Runtime) copyBatch(evs []event.Event) []event.Event {
+	return append(rt.newBatch(len(evs)), evs...)
+}
+
+// recycleBatch returns a batch buffer to the pool once its events have been
+// served (or dropped). Events are value types, so no contents escape.
+func (rt *Runtime) recycleBatch(b []event.Event) {
+	b = b[:0]
+	rt.batchPool.Put(&b)
 }
 
 // Subscribe opens a subscription delivering released answers for the named
@@ -458,6 +583,14 @@ type Stats struct {
 	Shards []ShardStats
 	// Epoch is the current control-plane epoch.
 	Epoch Epoch
+	// RunsDropped counts partial matches evicted by the current epoch's
+	// compiled sequence matchers under their maxRuns bound (see
+	// cep.WithMaxRuns) — the operator signal that matcher memory pressure
+	// is truncating concrete-window matching. It restarts at zero when a
+	// control-plane epoch recompiles the query plans. Serving paths that
+	// answer purely from released indicators never run the matchers, so
+	// the counter stays zero there.
+	RunsDropped uint64
 	// Uptime is the time since the runtime started serving.
 	Uptime time.Duration
 }
@@ -465,10 +598,14 @@ type Stats struct {
 // Snapshot reads every shard's counters. It is cheap and safe to call at any
 // time, including while serving.
 func (rt *Runtime) Snapshot() Stats {
+	ctl := rt.ctl.Load()
 	st := Stats{
 		Shards: make([]ShardStats, len(rt.shards)),
-		Epoch:  rt.ctl.Load().epoch,
+		Epoch:  ctl.epoch,
 		Uptime: time.Since(rt.start),
+	}
+	for _, p := range ctl.plans {
+		st.RunsDropped += p.Dropped()
 	}
 	for i, sh := range rt.shards {
 		st.Shards[i] = ShardStats{

@@ -25,6 +25,23 @@ type shardStats struct {
 	streamsEvicted metrics.Counter
 }
 
+// ingestMsg is one shard channel message: either a single event (batch nil)
+// or a batch of events in stream order. Batches amortize the per-message
+// channel synchronization over many events; the single-event form keeps
+// Ingest allocation-free.
+type ingestMsg struct {
+	ev    event.Event
+	batch []event.Event
+}
+
+// size returns the number of events the message carries.
+func (m ingestMsg) size() int64 {
+	if m.batch != nil {
+		return int64(len(m.batch))
+	}
+	return 1
+}
+
 // streamState is the per-stream serving state owned by one shard: the
 // stream's incremental windower, its next window index, and the shard clock
 // reading of its last event (for idle eviction).
@@ -44,23 +61,35 @@ type shard struct {
 	engine  *core.PrivateEngine
 	cur     *controlState // control state currently applied to engine
 	epoch   atomic.Uint64 // cur.epoch, mirrored for Snapshot
-	in      chan event.Event
+	in      chan ingestMsg
 	streams map[string]*streamState
 	clock   int64 // events served; drives idle-stream eviction
 	stats   shardStats
 	failed  atomic.Bool // set on the first serving error; checked by Ingest
 	err     error       // first serving error; read after rt.wg.Wait()
+
+	// Serving scratch, reused across pushes: the closed-window batch and
+	// the answer buffer of one emit. Only the slice headers are recycled —
+	// window contents and published answers are copied out before reuse.
+	wsScratch  []stream.Window
+	ansScratch []core.Answer
+	pubAns     []Answer
+	pubTargets []pubTarget
+	// lastKey/lastStream cache the most recent stream lookup: batches are
+	// usually runs of one stream, so consecutive events skip the map.
+	lastKey    string
+	lastStream *streamState
 }
 
 // syncControl applies any control-plane epochs published since the shard
 // last served a window. It runs only at window boundaries — the caller is
-// about to serve a fully closed window — so no window is ever answered under
-// a half-applied registration state. A private-set change rebuilds the
-// mechanism (via the configured factory, so budget splits stay coherent over
-// the new set) and the engine around it; a query-only change adjusts the
-// live engine's target set in place, preserving mechanism state. It reports
-// false on a rebuild error, which it records for Close to surface, like
-// emit.
+// about to serve a batch of fully closed windows — so no window is ever
+// answered under a half-applied registration state. A private-set change
+// rebuilds the mechanism (via the configured factory, so budget splits stay
+// coherent over the new set) and the engine around it; a query-only change
+// swaps the epoch's precompiled plan set into the live engine, preserving
+// mechanism state. It reports false on a rebuild error, which it records for
+// Close to surface, like emit.
 func (s *shard) syncControl() bool {
 	st := s.rt.ctl.Load()
 	if st == s.cur {
@@ -72,7 +101,7 @@ func (s *shard) syncControl() bool {
 			return s.fail(err)
 		}
 		s.engine = eng
-	} else if err := s.engine.SetTargets(st.targets); err != nil {
+	} else if err := s.engine.SetTargetPlans(st.plans); err != nil {
 		return s.fail(err)
 	}
 	s.cur = st
@@ -96,39 +125,40 @@ func (s *shard) fail(err error) bool {
 // windows in deterministic key order.
 func (s *shard) run() {
 	defer s.rt.wg.Done()
-	for e := range s.in {
-		s.stats.eventsIn.Inc()
-		s.clock++
-		key := streamKey(e)
-		st := s.streams[key]
-		if st == nil {
-			st = &streamState{win: NewWindower(s.rt.cfg.WindowWidth, s.rt.cfg.Lateness, s.rt.cfg.AllowedLateness, s.rt.cfg.Horizon)}
-			s.streams[key] = st
-			s.stats.streams.Inc()
-		}
-		st.lastSeen = s.clock
-		if evict := s.rt.cfg.EvictAfter; evict > 0 && s.clock%evict == 0 {
-			if !s.sweep(evict) {
-				for range s.in {
-					s.stats.droppedFailed.Inc()
+	for msg := range s.in {
+		ok := true
+		if msg.batch == nil {
+			s.stats.eventsIn.Inc()
+			ok = s.serve(msg.ev)
+		} else {
+			i := 0
+			for ; i < len(msg.batch); i++ {
+				if ok = s.serve(msg.batch[i]); !ok {
+					break
 				}
-				return
 			}
+			if ok {
+				s.stats.eventsIn.Add(int64(len(msg.batch)))
+			} else {
+				// Only the events that entered serving count as
+				// ingested; the unserved remainder of the failing
+				// batch is discarded and accounted like the
+				// post-failure drain below.
+				s.stats.eventsIn.Add(int64(i + 1))
+				s.stats.droppedFailed.Add(int64(len(msg.batch) - i - 1))
+			}
+			s.rt.recycleBatch(msg.batch)
 		}
-		ws, res := st.win.Push(e)
-		switch res {
-		case PushLate:
-			s.stats.droppedLate.Inc()
-		case PushFuture:
-			s.stats.droppedFuture.Inc()
-		}
-		if !s.emit(key, st, ws) {
+		if !ok {
 			// Serving failed: keep draining so blocked producers and
 			// Close are not wedged on a full channel. The discarded
 			// events are counted, and Ingest starts rejecting new
 			// ones via the failed flag.
-			for range s.in {
-				s.stats.droppedFailed.Inc()
+			for msg := range s.in {
+				s.stats.droppedFailed.Add(msg.size())
+				if msg.batch != nil {
+					s.rt.recycleBatch(msg.batch)
+				}
 			}
 			return
 		}
@@ -140,10 +170,42 @@ func (s *shard) run() {
 	sort.Strings(keys)
 	for _, key := range keys {
 		st := s.streams[key]
-		if !s.emit(key, st, st.win.Flush()) {
+		if !s.emit(key, st, st.win.FlushInto(s.wsScratch[:0])) {
 			return
 		}
 	}
+}
+
+// serve processes one ingested event: route it to its stream's windower and
+// serve whatever windows the push closed. It reports false once the shard
+// has failed.
+func (s *shard) serve(e event.Event) bool {
+	s.clock++
+	key := streamKey(e)
+	st := s.lastStream
+	if st == nil || key != s.lastKey {
+		st = s.streams[key]
+		if st == nil {
+			st = &streamState{win: NewWindower(s.rt.cfg.WindowWidth, s.rt.cfg.Lateness, s.rt.cfg.AllowedLateness, s.rt.cfg.Horizon)}
+			s.streams[key] = st
+			s.stats.streams.Inc()
+		}
+		s.lastKey, s.lastStream = key, st
+	}
+	st.lastSeen = s.clock
+	if evict := s.rt.cfg.EvictAfter; evict > 0 && s.clock%evict == 0 {
+		if !s.sweep(evict) {
+			return false
+		}
+	}
+	ws, res := st.win.PushInto(e, s.wsScratch[:0])
+	switch res {
+	case PushLate:
+		s.stats.droppedLate.Inc()
+	case PushFuture:
+		s.stats.droppedFuture.Inc()
+	}
+	return s.emit(key, st, ws)
 }
 
 // sweep flushes and frees the state of every stream that has not seen an
@@ -161,45 +223,56 @@ func (s *shard) sweep(evict int64) bool {
 	sort.Strings(idle)
 	for _, key := range idle {
 		st := s.streams[key]
-		if !s.emit(key, st, st.win.Flush()) {
+		if !s.emit(key, st, st.win.FlushInto(s.wsScratch[:0])) {
 			return false
 		}
 		delete(s.streams, key)
 		s.stats.streamsEvicted.Inc()
 	}
+	// Evicted streams invalidate the lookup cache.
+	s.lastKey, s.lastStream = "", nil
 	return true
 }
 
-// emit serves closed windows one at a time — stateful mechanisms see windows
-// in stream order — and publishes every released answer tagged with the
-// stream key, per-stream window index, and the control-plane epoch it was
-// served under. Pending epochs are applied between windows, never within
-// one, so each answer's epoch names exactly the query and private sets that
-// produced it. Windows closed while no query is registered are counted but
-// answer nothing (the window index still advances, keeping indices aligned
-// with time). It reports false on the first engine error, which it records
-// for Close to surface.
+// emit serves all windows one push closed — as a single engine batch, so
+// stateful mechanisms see the windows in stream order and the per-call
+// overhead is paid once — and publishes every released answer tagged with
+// the stream key, per-stream window index, and the control-plane epoch it
+// was served under. Pending epochs are applied before the batch, never
+// within one, so each answer's epoch names exactly the query and private
+// sets that produced it. Windows closed while no query is registered are
+// counted but answer nothing (the window index still advances, keeping
+// indices aligned with time). It reports false on the first engine error,
+// which it records for Close to surface.
 func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
-	for _, w := range ws {
-		if !s.syncControl() {
-			return false
-		}
-		if len(s.cur.targets) == 0 {
-			s.stats.windowsClosed.Inc()
-			st.next++
-			continue
-		}
-		answers, err := s.engine.ProcessWindows([]stream.Window{w})
-		if err != nil {
-			return s.fail(err)
-		}
-		s.stats.windowsClosed.Inc()
-		for _, a := range answers {
-			a.WindowIndex = st.next
-			s.rt.bus.publish(Answer{Stream: key, Shard: s.id, Epoch: s.cur.epoch, Answer: a})
-			s.stats.answersEmitted.Inc()
-		}
-		st.next++
+	s.wsScratch = ws[:0]
+	if len(ws) == 0 {
+		return true
 	}
+	if !s.syncControl() {
+		return false
+	}
+	s.stats.windowsClosed.Add(int64(len(ws)))
+	if len(s.cur.targets) == 0 {
+		st.next += len(ws)
+		return true
+	}
+	answers, err := s.engine.ProcessWindowsInto(s.ansScratch[:0], ws)
+	if err != nil {
+		return s.fail(err)
+	}
+	s.ansScratch = answers
+	s.pubAns = s.pubAns[:0]
+	for _, a := range answers {
+		a.WindowIndex += st.next
+		s.pubAns = append(s.pubAns, Answer{Stream: key, Shard: s.id, Epoch: s.cur.epoch, Answer: a})
+	}
+	// One bus lookup for the whole batch; sends stay outside the bus lock.
+	s.pubTargets = s.rt.bus.collect(s.pubTargets[:0], s.pubAns)
+	for _, t := range s.pubTargets {
+		t.sub.send(s.pubAns[t.idx])
+	}
+	s.stats.answersEmitted.Add(int64(len(answers)))
+	st.next += len(ws)
 	return true
 }

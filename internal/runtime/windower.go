@@ -81,7 +81,15 @@ type Windower struct {
 	nextStart event.Timestamp // start of the earliest still-open window
 	maxTime   event.Timestamp // highest event timestamp seen
 	pending   []event.Event   // events of still-open windows, unordered
-	dropped   int64
+	// slotCounts tracks each open window's population: slotCounts[i] is
+	// the number of pending events in the window starting at
+	// nextStart + i*width. Cut windows pre-size their event slice from it
+	// and fill a per-type occurrence map (carried out as
+	// Window.TypeCounts) in the same pass that partitions the events, so
+	// downstream indicator extraction and required-type pruning never
+	// rescan a window.
+	slotCounts []int
+	dropped    int64
 }
 
 // NewWindower builds a windower cutting windows of the given width. lateness
@@ -114,12 +122,20 @@ func (w *Windower) watermark() event.Timestamp {
 // Push feeds one event and returns the windows it closed, oldest first,
 // along with whether the event was accepted or why it was discarded.
 func (w *Windower) Push(e event.Event) (closed []stream.Window, res PushResult) {
+	return w.PushInto(e, nil)
+}
+
+// PushInto is Push appending closed windows into dst, so a streaming caller
+// can reuse one window buffer across pushes instead of allocating a slice
+// per cut. The returned windows (their Events and TypeCounts) stay valid
+// after the buffer is reused; only the slice header is recycled.
+func (w *Windower) PushInto(e event.Event, dst []stream.Window) (closed []stream.Window, res PushResult) {
 	if w.started && w.horizon > 0 && e.Time > w.maxTime+w.horizon {
 		// A runaway timestamp would force an unbounded run of gap
 		// windows (and poison the watermark, turning every later
 		// on-time event into a late drop). Reject it instead.
 		w.dropped++
-		return nil, PushFuture
+		return dst, PushFuture
 	}
 	if !w.started {
 		w.started = true
@@ -128,25 +144,36 @@ func (w *Windower) Push(e event.Event) (closed []stream.Window, res PushResult) 
 	}
 	if e.Time < w.nextStart {
 		w.dropped++
-		return nil, PushLate
+		return dst, PushLate
 	}
 	w.pending = append(w.pending, e)
+	idx := int((stream.AlignDown(e.Time, w.width) - w.nextStart) / w.width)
+	for idx >= len(w.slotCounts) {
+		w.slotCounts = append(w.slotCounts, 0)
+	}
+	w.slotCounts[idx]++
 	if e.Time > w.maxTime {
 		w.maxTime = e.Time
 	}
-	return w.cut(w.watermark()), PushAccepted
+	return w.cut(dst, w.watermark()), PushAccepted
 }
 
 // Flush closes every window still holding or preceding pending events —
 // the stream's trailing windows at shutdown — and resets the windower for
 // a fresh feed.
 func (w *Windower) Flush() []stream.Window {
+	return w.FlushInto(nil)
+}
+
+// FlushInto is Flush appending the trailing windows into dst.
+func (w *Windower) FlushInto(dst []stream.Window) []stream.Window {
 	if !w.started {
-		return nil
+		return dst
 	}
-	out := w.cut(stream.AlignDown(w.maxTime, w.width) + w.width)
+	out := w.cut(dst, stream.AlignDown(w.maxTime, w.width)+w.width)
 	w.started = false
 	w.pending = nil
+	w.slotCounts = w.slotCounts[:0]
 	return out
 }
 
@@ -154,17 +181,32 @@ func (w *Windower) Flush() []stream.Window {
 // or by the horizon bound.
 func (w *Windower) Dropped() int64 { return w.dropped }
 
-// cut closes all windows ending at or before the given watermark, assigning
-// pending events and sorting each window into canonical stream order.
-func (w *Windower) cut(watermark event.Timestamp) []stream.Window {
-	var out []stream.Window
+// cut closes all windows ending at or before the given watermark, appending
+// them to out, assigning pending events and sorting each window into
+// canonical stream order. Each closed window takes ownership of its
+// occurrence map as TypeCounts (empty gap windows carry none).
+func (w *Windower) cut(out []stream.Window, watermark event.Timestamp) []stream.Window {
 	for w.nextStart+w.width <= watermark {
 		end := w.nextStart + w.width
 		cur := stream.Window{Start: w.nextStart, End: end}
+		total := 0
+		if len(w.slotCounts) > 0 {
+			total = w.slotCounts[0]
+			w.slotCounts = w.slotCounts[:copy(w.slotCounts, w.slotCounts[1:])]
+		}
+		if total > 0 {
+			// The slot population is known, so the window's event slice
+			// is allocated exactly once at final size, and its type
+			// occurrences are tallied in the same pass that assigns the
+			// events.
+			cur.Events = make([]event.Event, 0, total)
+			cur.TypeCounts = make(stream.TypeCounts, 0, min(total, 8))
+		}
 		rest := w.pending[:0]
 		for _, e := range w.pending {
 			if e.Time < end {
 				cur.Events = append(cur.Events, e)
+				cur.TypeCounts = cur.TypeCounts.Add(e.Type)
 			} else {
 				rest = append(rest, e)
 			}

@@ -150,3 +150,84 @@ func TestWindowerHorizon(t *testing.T) {
 		t.Fatalf("in-horizon jump = %d windows (res=%v), want 9", len(closed), res)
 	}
 }
+
+// TestWindowerTypeCounts pins the carried occurrence map: every cut window's
+// TypeCounts must agree exactly with its events, across disorder, gap
+// windows, and flush.
+func TestWindowerTypeCounts(t *testing.T) {
+	w := NewWindower(10, ReorderBuffer, 3, 0)
+	var closed []stream.Window
+	push := func(typ event.Type, ts event.Timestamp) {
+		ws, res := w.Push(event.New(typ, ts))
+		if res != PushAccepted {
+			t.Fatalf("push %s@%d: %v", typ, ts, res)
+		}
+		closed = append(closed, ws...)
+	}
+	push("a", 1)
+	push("b", 4)
+	push("a", 3) // disorder within the open window
+	push("a", 12)
+	push("b", 45) // forces gap windows
+	closed = append(closed, w.Flush()...)
+	if len(closed) != 5 {
+		t.Fatalf("%d windows closed, want 5", len(closed))
+	}
+	for _, win := range closed {
+		want := make(map[event.Type]int)
+		for _, e := range win.Events {
+			want[e.Type]++
+		}
+		if len(win.Events) == 0 {
+			if win.TypeCounts != nil {
+				t.Errorf("window [%d,%d): empty window carries TypeCounts %v", win.Start, win.End, win.TypeCounts)
+			}
+			continue
+		}
+		if len(win.TypeCounts) != len(want) {
+			t.Fatalf("window [%d,%d): TypeCounts %v, want %v", win.Start, win.End, win.TypeCounts, want)
+		}
+		for typ, n := range want {
+			if win.TypeCounts.Count(typ) != n {
+				t.Errorf("window [%d,%d): TypeCounts.Count(%s) = %d, want %d", win.Start, win.End, typ, win.TypeCounts.Count(typ), n)
+			}
+		}
+		// The window's fast-path queries must agree with a scan.
+		for _, typ := range []event.Type{"a", "b", "zzz"} {
+			scan := 0
+			for _, e := range win.Events {
+				if e.Type == typ {
+					scan++
+				}
+			}
+			if win.Count(typ) != scan || win.Contains(typ) != (scan > 0) {
+				t.Errorf("window [%d,%d): Count(%s)=%d Contains=%t, scan=%d", win.Start, win.End, typ, win.Count(typ), win.Contains(typ), scan)
+			}
+		}
+	}
+}
+
+// TestWindowerPushIntoReusesBuffer pins the scratch contract: reusing the
+// closed-window buffer across pushes must not corrupt previously returned
+// windows' contents.
+func TestWindowerPushIntoReusesBuffer(t *testing.T) {
+	w := NewWindower(10, DropLate, 0, 0)
+	var scratch []stream.Window
+	ws, _ := w.PushInto(event.New("a", 5), scratch[:0])
+	if len(ws) != 0 {
+		t.Fatalf("first push closed %d windows", len(ws))
+	}
+	ws, _ = w.PushInto(event.New("b", 15), ws[:0])
+	if len(ws) != 1 {
+		t.Fatalf("second push closed %d windows, want 1", len(ws))
+	}
+	first := ws[0]
+	// Reuse the buffer; the earlier window must stay intact.
+	ws, _ = w.PushInto(event.New("c", 25), ws[:0])
+	if len(ws) != 1 || len(first.Events) != 1 || first.Events[0].Type != "a" {
+		t.Fatalf("buffer reuse corrupted earlier window: %+v", first)
+	}
+	if first.TypeCounts.Count("a") != 1 {
+		t.Errorf("earlier window TypeCounts = %v", first.TypeCounts)
+	}
+}

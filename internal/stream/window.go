@@ -6,6 +6,42 @@ import (
 
 // Window is a finite batch of events cut from an event stream. Windows carry
 // the half-open logical-time interval [Start, End) they cover.
+// TypeCount is one entry of a window's type-occurrence tally.
+type TypeCount struct {
+	// Type is the tallied event type.
+	Type event.Type
+	// N is how often it occurs in the window.
+	N int
+}
+
+// TypeCounts is a compact per-type occurrence tally, ordered by first
+// appearance. Windows hold a handful of distinct types, so a linear scan
+// beats a hash map on the serving path — no hashing, and the whole tally is
+// one small allocation.
+type TypeCounts []TypeCount
+
+// Count returns the tallied occurrences of t (0 when absent).
+func (tc TypeCounts) Count(t event.Type) int {
+	for i := range tc {
+		if tc[i].Type == t {
+			return tc[i].N
+		}
+	}
+	return 0
+}
+
+// Add increments t's tally, appending a new entry on first occurrence, and
+// returns the updated tally.
+func (tc TypeCounts) Add(t event.Type) TypeCounts {
+	for i := range tc {
+		if tc[i].Type == t {
+			tc[i].N++
+			return tc
+		}
+	}
+	return append(tc, TypeCount{Type: t, N: 1})
+}
+
 type Window struct {
 	// Start is the inclusive start of the covered interval.
 	Start event.Timestamp
@@ -13,11 +49,20 @@ type Window struct {
 	End event.Timestamp
 	// Events are the window contents in canonical stream order.
 	Events []event.Event
+	// TypeCounts, when non-nil, caches the per-type occurrence tally of
+	// Events. Producers that see every event anyway (the streaming
+	// Windower) fill it so Contains/Count answer without scanning the
+	// events; it must agree with Events. nil means "not maintained" and
+	// queries fall back to scanning.
+	TypeCounts TypeCounts
 }
 
 // Contains reports whether the window holds at least one event of type t.
 // This is the per-window existence indicator I(e) used by the PPMs.
 func (w Window) Contains(t event.Type) bool {
+	if w.TypeCounts != nil {
+		return w.TypeCounts.Count(t) > 0
+	}
 	for _, e := range w.Events {
 		if e.Type == t {
 			return true
@@ -29,6 +74,9 @@ func (w Window) Contains(t event.Type) bool {
 // Count returns the number of events of type t inside the window. w-event
 // baselines publish noisy versions of these counts.
 func (w Window) Count(t event.Type) int {
+	if w.TypeCounts != nil {
+		return w.TypeCounts.Count(t)
+	}
 	n := 0
 	for _, e := range w.Events {
 		if e.Type == t {
@@ -40,6 +88,15 @@ func (w Window) Count(t event.Type) int {
 
 // Types returns the set of distinct event types present in the window.
 func (w Window) Types() map[event.Type]bool {
+	if w.TypeCounts != nil {
+		set := make(map[event.Type]bool, len(w.TypeCounts))
+		for _, c := range w.TypeCounts {
+			if c.N > 0 {
+				set[c.Type] = true
+			}
+		}
+		return set
+	}
 	set := make(map[event.Type]bool)
 	for _, e := range w.Events {
 		set[e.Type] = true

@@ -41,9 +41,10 @@
 //	})
 //	sub, _ := rt.Subscribe("jam")
 //	go func() { for a := range sub.C() { use(a) } }()
-//	rt.Ingest(ev) // any number of producers, routed by stream key
-//	sub.Cancel()  // detach one consumer without disturbing serving
-//	rt.Close()    // drain, flush trailing windows, close subscriptions
+//	rt.Ingest(ev)       // any number of producers, routed by stream key
+//	rt.IngestBatch(evs) // bulk path: one channel op per touched shard
+//	sub.Cancel()        // detach one consumer without disturbing serving
+//	rt.Close()          // drain, flush trailing windows, close subscriptions
 //
 // The runtime's control plane is dynamic: RegisterPrivate/UnregisterPrivate
 // and RegisterQuery/UnregisterQuery apply while traffic flows. Every change
@@ -99,6 +100,10 @@ type (
 	Epsilon = dp.Epsilon
 	// Query is a registered continuous query.
 	Query = cep.Query
+	// Plan is a compiled query: the allocation-free serving-time form of
+	// a Query (flattened indicator program, required-type pruning set,
+	// pooled NFA matchers for sequence patterns).
+	Plan = cep.Plan
 	// Expr is a pattern expression node (SEQ/AND/OR/NEG over atoms).
 	Expr = cep.Expr
 	// Engine is the plain (non-private) CEP engine.
@@ -223,6 +228,17 @@ func NegOf(inner Expr) Expr { return cep.NegOf(inner) }
 // TimesOf builds a repetition expression: inner occurs at least min and at
 // most max times in the window (max = 0 means unbounded).
 func TimesOf(inner Expr, min, max int) Expr { return cep.TimesOf(inner, min, max) }
+
+// CompileQuery compiles a query into its serving Plan: evaluate it over
+// concrete windows with Plan.EvalWindow/DetectWindow or over released
+// indicators with Plan.EvalIndicators. Engines compile registered queries
+// themselves; CompileQuery is for callers evaluating queries directly.
+func CompileQuery(q Query) (*Plan, error) { return cep.Compile(q) }
+
+// Detect reports whether the pattern occurs in the window without
+// materializing a witness — the allocation-free boolean counterpart of the
+// engine's witness-producing evaluation.
+func Detect(e Expr, w Window) bool { return cep.Detect(e, w) }
 
 // Parse compiles a textual pattern query — e.g.
 // "SEQ(enter-taxi, near-hospital) WITHIN 10" — into an expression tree and
