@@ -437,7 +437,7 @@ func BenchmarkRegisterChurn(b *testing.B) {
 // are not private elements, so their released indicators stay false and the
 // compiled plans prune them), dense queries require types present in every
 // window.
-func hotPathQueries(selective bool) []cep.Query {
+func hotPathQueries(selective bool, width event.Timestamp) []cep.Query {
 	var qs []cep.Query
 	for i := 0; i < 12; i++ {
 		var p cep.Expr
@@ -460,19 +460,19 @@ func hotPathQueries(selective bool) []cep.Query {
 				p = cep.SeqTypes(event.Type(fmt.Sprintf("c%d", i%8)), "c7")
 			}
 		}
-		qs = append(qs, cep.Query{Name: fmt.Sprintf("q%02d", i), Pattern: p, Window: 32})
+		qs = append(qs, cep.Query{Name: fmt.Sprintf("q%02d", i), Pattern: p, Window: width})
 	}
 	return qs
 }
 
-// BenchmarkServeWindowHotPath measures the per-event cost of the full
-// serving path — batch ingest, incremental windowing with type-occurrence
-// tracking, per-epoch compiled plans, the mechanism, query answering, and
-// the answer bus — on selective queries (required types absent from the
-// stream) and dense queries (required types present in every window), at 1,
-// 4 and 8 shards. allocs/op is the allocation-discipline signal; events/s
-// the throughput signal. CI records the results in BENCH_serve.json.
-func BenchmarkServeWindowHotPath(b *testing.B) {
+// benchServeWindow is the shared body of the serving hot-path benchmarks.
+// The slide is fixed at 32 logical ticks — the window cadence of the
+// original tumbling benchmark, so every configuration serves one window per
+// 32 ingested events per stream — and the width grows with the overlap
+// factor: overlap=1 is the original tumbling configuration (Slide unset),
+// overlap=k serves sliding windows of width 32k. naive selects the
+// brute-force per-window re-evaluation baseline instead of pane assembly.
+func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive bool) {
 	private, err := core.NewPatternType("p", "c0", "c1", "c2")
 	if err != nil {
 		b.Fatal(err)
@@ -482,63 +482,104 @@ func BenchmarkServeWindowHotPath(b *testing.B) {
 		commons[i] = event.Type(fmt.Sprintf("c%d", i))
 	}
 	const batch = 128
+	const slide = 32
+	width := event.Timestamp(slide * overlap)
+	cfg := runtime.Config{
+		Shards:      shards,
+		WindowWidth: width,
+		Mechanism: func(int) (core.Mechanism, error) {
+			return core.NewUniformPPM(1, private)
+		},
+		Private:      []core.PatternType{private},
+		Targets:      hotPathQueries(mode == "selective", width),
+		Seed:         42,
+		NaiveSliding: naive,
+	}
+	if overlap > 1 {
+		cfg.Slide = slide
+	}
+	rt, err := runtime.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := rt.Subscribe("q00")
+	if err != nil {
+		b.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range sub.C() {
+		}
+	}()
+	var nextStream int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		key := fmt.Sprintf("stream-%d", atomic.AddInt64(&nextStream, 1))
+		var t event.Timestamp
+		buf := make([]event.Event, 0, batch)
+		flush := func() bool {
+			if err := rt.IngestBatch(buf); err != nil {
+				b.Error(err)
+				return false
+			}
+			buf = buf[:0]
+			return true
+		}
+		for pb.Next() {
+			buf = append(buf, event.New(commons[int(t)%len(commons)], t).WithSource(key))
+			t++
+			if len(buf) == batch && !flush() {
+				return
+			}
+		}
+		flush()
+	})
+	b.StopTimer()
+	if err := rt.Close(); err != nil {
+		b.Fatal(err)
+	}
+	<-drained
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkServeWindowHotPath measures the per-event cost of the full
+// serving path — batch ingest, incremental windowing, per-epoch compiled
+// plans, the mechanism, query answering, and the answer bus — on selective
+// queries (required types absent from the stream) and dense queries
+// (required types present in every window), at 1, 4 and 8 shards and at
+// overlap factors 1 (tumbling), 4, and 8 (sliding windows pane-assembled at
+// a fixed one-window-per-32-events cadence; see benchServeWindow). allocs/op
+// is the allocation-discipline signal; events/s the throughput signal.
+// Compare the overlap>1 rows against BenchmarkServeWindowNaiveSliding for
+// the pane-sharing speedup. CI records the results in BENCH_serve.json.
+func BenchmarkServeWindowHotPath(b *testing.B) {
 	for _, mode := range []string{"selective", "dense"} {
 		for _, shards := range []int{1, 4, 8} {
-			b.Run(fmt.Sprintf("%s/shards=%d", mode, shards), func(b *testing.B) {
-				rt, err := runtime.New(runtime.Config{
-					Shards:      shards,
-					WindowWidth: 32,
-					Mechanism: func(int) (core.Mechanism, error) {
-						return core.NewUniformPPM(1, private)
-					},
-					Private: []core.PatternType{private},
-					Targets: hotPathQueries(mode == "selective"),
-					Seed:    42,
+			for _, overlap := range []int{1, 4, 8} {
+				b.Run(fmt.Sprintf("%s/shards=%d/overlap=%d", mode, shards, overlap), func(b *testing.B) {
+					benchServeWindow(b, mode, shards, overlap, false)
 				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				sub, err := rt.Subscribe("q00")
-				if err != nil {
-					b.Fatal(err)
-				}
-				drained := make(chan struct{})
-				go func() {
-					defer close(drained)
-					for range sub.C() {
-					}
-				}()
-				var nextStream int64
-				b.ReportAllocs()
-				b.ResetTimer()
-				b.RunParallel(func(pb *testing.PB) {
-					key := fmt.Sprintf("stream-%d", atomic.AddInt64(&nextStream, 1))
-					var t event.Timestamp
-					buf := make([]event.Event, 0, batch)
-					flush := func() bool {
-						if err := rt.IngestBatch(buf); err != nil {
-							b.Error(err)
-							return false
-						}
-						buf = buf[:0]
-						return true
-					}
-					for pb.Next() {
-						buf = append(buf, event.New(commons[int(t)%len(commons)], t).WithSource(key))
-						t++
-						if len(buf) == batch && !flush() {
-							return
-						}
-					}
-					flush()
+			}
+		}
+	}
+}
+
+// BenchmarkServeWindowNaiveSliding is the brute-force comparison baseline
+// for the sliding rows of BenchmarkServeWindowHotPath: identical workload
+// and window cadence, but every window is re-buffered (copied, sorted) and
+// re-evaluated from scratch (no pane tallies — indicator extraction rescans
+// each window's events per type), the cost a naive sliding port pays
+// width/slide times per event.
+func BenchmarkServeWindowNaiveSliding(b *testing.B) {
+	for _, mode := range []string{"selective", "dense"} {
+		for _, shards := range []int{1, 8} {
+			for _, overlap := range []int{4, 8} {
+				b.Run(fmt.Sprintf("%s/shards=%d/overlap=%d", mode, shards, overlap), func(b *testing.B) {
+					benchServeWindow(b, mode, shards, overlap, true)
 				})
-				b.StopTimer()
-				if err := rt.Close(); err != nil {
-					b.Fatal(err)
-				}
-				<-drained
-				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
-			})
+			}
 		}
 	}
 }

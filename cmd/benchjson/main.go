@@ -34,7 +34,7 @@ func main() {
 		if len(fields) < 4 {
 			continue
 		}
-		name := fields[0]
+		name := stripProcSuffix(fields[0])
 		metrics := make(map[string]float64)
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -83,4 +83,21 @@ func main() {
 func metricKey(unit string) string {
 	unit = strings.ReplaceAll(unit, "/", "_per_")
 	return strings.ReplaceAll(unit, "-", "_")
+}
+
+// stripProcSuffix drops the "-N" GOMAXPROCS suffix the test runner appends
+// to benchmark names on multi-core machines ("BenchmarkX/sub-8" →
+// "BenchmarkX/sub"), so BENCH_serve.json rows keep the same key across
+// machines with different core counts.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }

@@ -10,6 +10,13 @@
 //	ppmserve -shards 8 -streams 32 -windows 500 -eps 1.0 -backpressure block
 //	ppmserve -churn 10
 //	ppmserve -batch 256 -cpuprofile cpu.out -memprofile mem.out
+//	ppmserve -slide 25 -snap 2s
+//
+// With -slide less than the window width the runtime serves sliding windows
+// assembled from panes of the slide width (see README "Sliding windows");
+// -naive switches to the brute-force per-window re-evaluation baseline for
+// comparison. -snap prints a periodic serving snapshot line — events,
+// windows, panes, overlap, answers — while traffic flows.
 //
 // The -cpuprofile/-memprofile flags write pprof profiles of the serving run,
 // so hot-path regressions can be diagnosed in the demo binary with
@@ -47,6 +54,9 @@ func main() {
 		horizon  = flag.Int64("horizon", 0, "max forward timestamp jump per stream (0 = unbounded)")
 		churn    = flag.Float64("churn", 0, "control-plane churn: probe-query (un)registrations per second")
 		batch    = flag.Int("batch", 1, "events per IngestBatch call (1 = per-event Ingest)")
+		slide    = flag.Int64("slide", 0, "window slide in logical time (0 = window width, i.e. tumbling; must divide the width)")
+		naive    = flag.Bool("naive", false, "serve sliding windows by brute-force per-window re-evaluation (comparison baseline)")
+		snap     = flag.Duration("snap", 0, "print a periodic serving snapshot at this interval (0 = off)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -65,7 +75,7 @@ func main() {
 			}
 			defer pprof.StopCPUProfile()
 		}
-		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch)
+		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch, *slide, *naive, *snap)
 	}
 	if err := profiledRun(); err != nil {
 		fmt.Fprintln(os.Stderr, "ppmserve:", err)
@@ -86,7 +96,7 @@ func main() {
 	}
 }
 
-func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int) error {
+func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int, slide int64, naive bool, snap time.Duration) error {
 	if batch < 1 {
 		return fmt.Errorf("batch size %d must be >= 1", batch)
 	}
@@ -100,8 +110,10 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	private := ds.PrivateTypes()
 
 	cfg := runtime.Config{
-		Shards:      shards,
-		WindowWidth: scfg.WindowWidth,
+		Shards:       shards,
+		WindowWidth:  scfg.WindowWidth,
+		Slide:        event.Timestamp(slide),
+		NaiveSliding: naive,
 		// The set-aware factory keeps the budget split coherent across
 		// control-plane epochs (and enables RegisterPrivate).
 		MechanismFor: func(_ int, private []core.PatternType) (core.Mechanism, error) {
@@ -129,8 +141,42 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %d streams x %d events (%d windows each) across %d shards, eps=%g\n",
-		streams, len(base), windows, shards, eps)
+	if slide > 0 && event.Timestamp(slide) != scfg.WindowWidth {
+		mode := "pane-assembled"
+		if naive {
+			mode = "naive re-evaluation"
+		}
+		fmt.Printf("serving %d streams x %d events across %d shards, eps=%g — sliding windows width %d slide %d (overlap %d, %s)\n",
+			streams, len(base), shards, eps, scfg.WindowWidth, slide, rt.Snapshot().Overlap, mode)
+	} else {
+		fmt.Printf("serving %d streams x %d events (%d windows each) across %d shards, eps=%g\n",
+			streams, len(base), windows, shards, eps)
+	}
+
+	// Periodic serving snapshot: one line per interval with the pane and
+	// overlap counters alongside the usual serving totals.
+	snapStop := make(chan struct{})
+	var snapper sync.WaitGroup
+	if snap > 0 {
+		snapper.Add(1)
+		go func() {
+			defer snapper.Done()
+			tick := time.NewTicker(snap)
+			defer tick.Stop()
+			for {
+				select {
+				case <-snapStop:
+					return
+				case <-tick.C:
+				}
+				st := rt.Snapshot()
+				tot := st.Totals()
+				fmt.Printf("snapshot t=%v events=%d windows=%d panes=%d overlap=%d answers=%d dropped=%d/%d/%d\n",
+					st.Uptime.Round(time.Millisecond), tot.EventsIn, tot.WindowsClosed, tot.PanesClosed,
+					st.Overlap, tot.AnswersEmitted, tot.DroppedLate, tot.DroppedFuture, tot.DroppedIngest)
+			}
+		}()
+	}
 
 	// One subscriber per target query, counting detections.
 	type tally struct {
@@ -221,6 +267,8 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	producers.Wait()
 	close(churnStop)
 	churner.Wait()
+	close(snapStop)
+	snapper.Wait()
 	// Keep the Close error for after the report: on a shard failure the
 	// counters below are exactly what explains it.
 	closeErr := rt.Close()
@@ -243,6 +291,9 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 		}
 		fmt.Printf("control-plane epochs: %d (slowest serving shard applied %d)\n", st.Epoch, applied)
 	}
+	if st.Overlap > 1 {
+		fmt.Printf("windows: %d served at overlap %d from %d panes\n", tot.WindowsClosed, st.Overlap, tot.PanesClosed)
+	}
 	bal := st.Balance()
 	fmt.Printf("shard balance: mean %.0f events/shard, stddev %.0f, min %.0f, max %.0f\n",
 		bal.Mean, bal.StdDev, bal.Min, bal.Max)
@@ -251,14 +302,14 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "\nshard\tstreams\tevents\twindows\tanswers\tdropped(late/future/ingest)")
+	fmt.Fprintln(tw, "\nshard\tstreams\tevents\twindows\tpanes\tanswers\tdropped(late/future/ingest)")
 	for _, s := range st.Shards {
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d/%d/%d\n",
-			s.Shard, s.Streams, s.EventsIn, s.WindowsClosed, s.AnswersEmitted,
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d/%d/%d\n",
+			s.Shard, s.Streams, s.EventsIn, s.WindowsClosed, s.PanesClosed, s.AnswersEmitted,
 			s.DroppedLate, s.DroppedFuture, s.DroppedIngest)
 	}
-	fmt.Fprintf(tw, "total\t%d\t%d\t%d\t%d\t%d/%d/%d\n",
-		tot.Streams, tot.EventsIn, tot.WindowsClosed, tot.AnswersEmitted,
+	fmt.Fprintf(tw, "total\t%d\t%d\t%d\t%d\t%d\t%d/%d/%d\n",
+		tot.Streams, tot.EventsIn, tot.WindowsClosed, tot.PanesClosed, tot.AnswersEmitted,
 		tot.DroppedLate, tot.DroppedFuture, tot.DroppedIngest)
 	tw.Flush()
 	if tot.Failed {

@@ -48,6 +48,19 @@ type Plan struct {
 	types    []event.Type
 	stackCap int
 
+	// winAtoms/winProg are the concrete-window counterpart of prog for
+	// patterns whose window answer is order-free — no SEQ or TIMES node,
+	// only AND/OR/NEG over (predicated) atoms. winAtoms lists the pattern's
+	// atom leaves; winProg is a postfix program over their per-window match
+	// bits. Because each leaf's "some event matches" bit is mergeable by OR
+	// across stream panes, sliding evaluators answer such patterns from
+	// per-pane partial bitsets in O(panes) per window instead of
+	// re-scanning events (see Plan.Sliding). nil when the pattern needs
+	// order or counting (or has more than 64 leaves).
+	winAtoms    []*Atom
+	winProg     []planInstr
+	winStackCap int
+
 	// seq is non-nil for Seq-of-Atom patterns; nfas pools compiled
 	// matchers for concrete-window detection.
 	seq     *Seq
@@ -101,6 +114,9 @@ func Compile(q Query, opts ...NFAOption) (*Plan, error) {
 		}
 	}
 	p.requiredWindow = requiredWindowTypes(q.Pattern)
+	if atoms, prog, depth, ok := windowAtomProgram(q.Pattern); ok {
+		p.winAtoms, p.winProg, p.winStackCap = atoms, prog, depth
+	}
 	if s, ok := q.Pattern.(*Seq); ok && seqOfAtoms(s) {
 		p.seq = s
 		p.nfas.New = func() any {
@@ -509,6 +525,105 @@ func (c *planCompiler) typeIndex(t event.Type) int32 {
 	c.table = append(c.table, t)
 	c.types[t] = i
 	return i
+}
+
+// windowAtomProgram compiles an expression into a postfix program over
+// atom-leaf match bits, valid under concrete-window semantics: it exists
+// exactly when the window answer is a pure boolean combination of "some
+// event in the window matches leaf i" — i.e. the tree holds only AND/OR/NEG
+// over atoms. SEQ needs order and TIMES needs counts, so their presence (or
+// more than 64 leaves, the bitset width) returns ok == false.
+func windowAtomProgram(e Expr) (atoms []*Atom, prog []planInstr, stackCap int, ok bool) {
+	c := &winCompiler{}
+	if !c.emit(e) || len(c.atoms) > 64 {
+		return nil, nil, 0, false
+	}
+	return c.atoms, c.prog, c.maxDepth, true
+}
+
+type winCompiler struct {
+	atoms    []*Atom
+	prog     []planInstr
+	depth    int
+	maxDepth int
+}
+
+func (c *winCompiler) push(in planInstr, delta int) {
+	c.prog = append(c.prog, in)
+	c.depth += delta
+	if c.depth > c.maxDepth {
+		c.maxDepth = c.depth
+	}
+}
+
+func (c *winCompiler) emit(e Expr) bool {
+	switch x := e.(type) {
+	case *Atom:
+		c.push(planInstr{op: opPresent, arg: int32(len(c.atoms))}, 1)
+		c.atoms = append(c.atoms, x)
+		return true
+	case *And:
+		for _, p := range x.Parts {
+			if !c.emit(p) {
+				return false
+			}
+		}
+		c.push(planInstr{op: opAll, arg: int32(len(x.Parts))}, 1-len(x.Parts))
+		return true
+	case *Or:
+		for _, p := range x.Parts {
+			if !c.emit(p) {
+				return false
+			}
+		}
+		c.push(planInstr{op: opAny, arg: int32(len(x.Parts))}, 1-len(x.Parts))
+		return true
+	case *Neg:
+		if !c.emit(x.Inner) {
+			return false
+		}
+		c.push(planInstr{op: opNot}, 0)
+		return true
+	default: // *Seq, *Times: order or counting — not bit-mergeable
+		return false
+	}
+}
+
+// evalWindowBits runs the window atom program over a bitset of per-leaf
+// match bits (bit i set iff some window event matches winAtoms[i]).
+func (p *Plan) evalWindowBits(bits uint64) bool {
+	var scratch [16]bool
+	st := scratch[:0]
+	if p.winStackCap > len(scratch) {
+		st = make([]bool, 0, p.winStackCap)
+	}
+	for _, in := range p.winProg {
+		switch in.op {
+		case opPresent:
+			st = append(st, bits&(1<<uint(in.arg)) != 0)
+		case opAll:
+			n := len(st) - int(in.arg)
+			v := true
+			for _, b := range st[n:] {
+				v = v && b
+			}
+			st = append(st[:n], v)
+		case opAny:
+			n := len(st) - int(in.arg)
+			v := false
+			for _, b := range st[n:] {
+				v = v || b
+			}
+			st = append(st[:n], v)
+		case opNot:
+			st[len(st)-1] = !st[len(st)-1]
+		case opTrue:
+			st = append(st, true)
+		case opFalse:
+			st = append(st, false)
+		}
+	}
+	return st[0]
 }
 
 func (c *planCompiler) emit(n *pnode) {

@@ -87,16 +87,39 @@ func newControlState(private []core.PatternType, targets []cep.Query) *controlSt
 		st.queries[name] = true
 	}
 	sort.Slice(st.targets, func(i, j int) bool { return st.targets[i].Name < st.targets[j].Name })
-	st.recompile()
+	st.recompile(nil)
 	return st
 }
 
-// recompile rebuilds the epoch's compiled plan set from its target queries.
-// Queries are validated before they reach a control state (Config.validate
-// at construction, RegisterQuery while serving), so compilation cannot fail.
-func (st *controlState) recompile() {
+// recompile rebuilds the epoch's compiled plan set from its target queries,
+// reusing prev's compiled plan for every query that is unchanged since that
+// epoch — only added or replaced queries are compiled. Together with clone
+// (which carries the plan slice across private-set-only epochs untouched),
+// this keeps plan pointer identity stable across every epoch that does not
+// change the query itself, so shards swap snapshots without recompilation
+// and pooled NFA state keeps warming. Queries are validated before they
+// reach a control state (Config.validate at construction, RegisterQuery
+// while serving), so compilation cannot fail.
+func (st *controlState) recompile(prev *controlState) {
 	st.plans = make([]*cep.Plan, len(st.targets))
+	// Both target slices are name-sorted, so a lockstep merge finds each
+	// query's previous incarnation in O(n) total.
+	j := 0
 	for i, q := range st.targets {
+		if prev != nil {
+			for j < len(prev.targets) && prev.targets[j].Name < q.Name {
+				j++
+			}
+			// Reuse requires the plan to have been compiled from exactly
+			// this query: same name, same pattern tree (pointer identity —
+			// registered patterns are immutable, see RegisterQuery), same
+			// window.
+			if j < len(prev.targets) && prev.targets[j].Name == q.Name &&
+				prev.targets[j].Pattern == q.Pattern && prev.targets[j].Window == q.Window {
+				st.plans[i] = prev.plans[j]
+				continue
+			}
+		}
 		st.plans[i] = cep.MustCompile(q)
 	}
 }
@@ -124,7 +147,7 @@ func (st *controlState) clone() *controlState {
 // section, so a mutation racing Close either lands before the drain starts —
 // and is applied by every shard's drain flush — or fails with ErrClosed;
 // it can never report success for an epoch no shard will ever serve.
-func (rt *Runtime) mutate(f func(*controlState) error) (Epoch, error) {
+func (rt *Runtime) mutate(f func(prev, next *controlState) error) (Epoch, error) {
 	rt.ctlMu.Lock()
 	defer rt.ctlMu.Unlock()
 	rt.mu.RLock()
@@ -132,9 +155,10 @@ func (rt *Runtime) mutate(f func(*controlState) error) (Epoch, error) {
 	if rt.closed {
 		return 0, ErrClosed
 	}
-	next := rt.ctl.Load().clone()
+	prev := rt.ctl.Load()
+	next := prev.clone()
 	next.epoch++
-	if err := f(next); err != nil {
+	if err := f(prev, next); err != nil {
 		return 0, err
 	}
 	rt.ctl.Store(next)
@@ -156,7 +180,7 @@ func (rt *Runtime) RegisterPrivate(pt core.PatternType) (Epoch, error) {
 	if err != nil {
 		return 0, err
 	}
-	return rt.mutate(func(st *controlState) error {
+	return rt.mutate(func(_, st *controlState) error {
 		st.setPrivate(valid)
 		return nil
 	})
@@ -168,7 +192,7 @@ func (rt *Runtime) RegisterPrivate(pt core.PatternType) (Epoch, error) {
 // type's elements — over-protection is privacy-safe; with MechanismFor the
 // budget is re-split over the remaining set.
 func (rt *Runtime) UnregisterPrivate(pt core.PatternType) (Epoch, error) {
-	return rt.mutate(func(st *controlState) error {
+	return rt.mutate(func(_, st *controlState) error {
 		idx := -1
 		for i, p := range st.private {
 			if p.Name == pt.Name {
@@ -206,11 +230,17 @@ func (st *controlState) setPrivate(pt core.PatternType) {
 // replacing any registered query with the same name. Each shard starts
 // answering it at its next window boundary; subscribe to the query's name
 // (before or after registering) to receive the answers.
+//
+// The query's pattern tree must not be mutated after registration: compiled
+// plans (this epoch's and any earlier epoch still serving in-flight windows)
+// alias the tree, and plan reuse across epochs identifies an unchanged query
+// by its pattern pointer. To change a query's pattern, re-register its name
+// with a freshly built expression.
 func (rt *Runtime) RegisterQuery(q cep.Query) (Epoch, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
-	return rt.mutate(func(st *controlState) error {
+	return rt.mutate(func(prev, st *controlState) error {
 		if st.queries[q.Name] {
 			for i := range st.targets {
 				if st.targets[i].Name == q.Name {
@@ -218,13 +248,13 @@ func (rt *Runtime) RegisterQuery(q cep.Query) (Epoch, error) {
 					break
 				}
 			}
-			st.recompile()
+			st.recompile(prev)
 			return nil
 		}
 		st.targets = append(st.targets, q)
 		sort.Slice(st.targets, func(i, j int) bool { return st.targets[i].Name < st.targets[j].Name })
 		st.queries[q.Name] = true
-		st.recompile()
+		st.recompile(prev)
 		return nil
 	})
 }
@@ -234,7 +264,7 @@ func (rt *Runtime) RegisterQuery(q cep.Query) (Epoch, error) {
 // their next window boundary; existing subscriptions stay open and simply
 // receive nothing further for it.
 func (rt *Runtime) UnregisterQuery(q cep.Query) (Epoch, error) {
-	return rt.mutate(func(st *controlState) error {
+	return rt.mutate(func(prev, st *controlState) error {
 		if !st.queries[q.Name] {
 			return fmt.Errorf("%w: %q", ErrUnknownQuery, q.Name)
 		}
@@ -245,7 +275,7 @@ func (rt *Runtime) UnregisterQuery(q cep.Query) (Epoch, error) {
 				break
 			}
 		}
-		st.recompile()
+		st.recompile(prev)
 		return nil
 	})
 }

@@ -54,8 +54,23 @@ var ErrShardFailed = errors.New("runtime: shard failed")
 type Config struct {
 	// Shards is the number of serving shards. Default: GOMAXPROCS.
 	Shards int
-	// WindowWidth is the tumbling-window width applied per stream.
+	// WindowWidth is the window width applied per stream.
 	WindowWidth event.Timestamp
+	// Slide is how far consecutive windows advance. It must be a positive
+	// divisor of WindowWidth; 0 (the default) means WindowWidth, i.e.
+	// tumbling windows — exactly the pre-slide behavior, same code path.
+	// When Slide < WindowWidth each stream is served over sliding windows
+	// assembled from panes of the slide width: per-pane type tallies are
+	// merged across a ring into every covering window, so overlapping
+	// windows share their evaluation work instead of re-buffering and
+	// re-scanning events per window. Sliding answers carry interval-only
+	// windows (no Events, no TypeCounts): per-window event lists are never
+	// materialized on the pane path, and raw contents are not republished
+	// to subscribers. Privacy note: each event then contributes to
+	// WindowWidth/Slide independently perturbed releases, so the per-event
+	// privacy loss composes up to overlap x the per-window budget — see
+	// README "Sliding windows" for the trade-off.
+	Slide event.Timestamp
 	// Mechanism builds shard i's own mechanism instance, so no mechanism
 	// state or configuration is shared between shards. It is re-invoked
 	// whenever a control-plane epoch changes the private set (see
@@ -111,7 +126,37 @@ type Config struct {
 	ShardBuffer int
 	// SubscriberBuffer is each subscription's channel capacity. Default: 64.
 	SubscriberBuffer int
+	// NaiveSliding serves sliding windows by brute-force per-window
+	// re-buffering and re-evaluation instead of pane assembly: every event
+	// is copied into each of the WindowWidth/Slide windows covering it and
+	// every window is rescanned from scratch. It exists only as the
+	// benchmark comparison baseline for the pane-sharing path (see
+	// BenchmarkServeWindowHotPath) and assumes in-order input; it has no
+	// effect on tumbling configurations.
+	NaiveSliding bool
 }
+
+// newWindower builds one stream's windower for the configuration.
+func (c Config) newWindower() *Windower {
+	if slide := c.slideOrWidth(); slide < c.WindowWidth {
+		if c.NaiveSliding {
+			return newNaiveSlidingWindower(c.WindowWidth, slide, c.Lateness, c.AllowedLateness, c.Horizon)
+		}
+		return NewSlidingWindower(c.WindowWidth, slide, c.Lateness, c.AllowedLateness, c.Horizon)
+	}
+	return NewWindower(c.WindowWidth, c.Lateness, c.AllowedLateness, c.Horizon)
+}
+
+// slideOrWidth resolves the effective slide (0 defaults to the width).
+func (c Config) slideOrWidth() event.Timestamp {
+	if c.Slide == 0 {
+		return c.WindowWidth
+	}
+	return c.Slide
+}
+
+// sliding reports whether the configuration serves overlapping windows.
+func (c Config) sliding() bool { return c.slideOrWidth() < c.WindowWidth }
 
 func (c Config) withDefaults() Config {
 	if c.Shards == 0 {
@@ -135,6 +180,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("runtime: Shards = %d", c.Shards)
 	case c.WindowWidth <= 0:
 		return fmt.Errorf("runtime: WindowWidth = %d", c.WindowWidth)
+	case c.Slide < 0 || c.Slide > c.WindowWidth || (c.Slide > 0 && c.WindowWidth%c.Slide != 0):
+		return fmt.Errorf("runtime: Slide = %d must be a positive divisor of WindowWidth = %d", c.Slide, c.WindowWidth)
 	case c.Mechanism == nil && c.MechanismFor == nil:
 		return fmt.Errorf("runtime: nil Mechanism and MechanismFor factories")
 	case len(c.Private) == 0:
@@ -562,6 +609,12 @@ type ShardStats struct {
 	EventsIn int64
 	// WindowsClosed counts windows cut and served.
 	WindowsClosed int64
+	// PanesClosed counts panes cut by the shard's windowers. Tumbling
+	// windows are single panes, so the counter tracks WindowsClosed there;
+	// under a sliding configuration it counts the shared pane cuts — and
+	// stays zero under the NaiveSliding baseline, which re-buffers per
+	// window instead of slicing panes.
+	PanesClosed int64
 	// AnswersEmitted counts released answers published to the bus.
 	AnswersEmitted int64
 	// DroppedLate counts events discarded by the lateness policy.
@@ -583,13 +636,19 @@ type Stats struct {
 	Shards []ShardStats
 	// Epoch is the current control-plane epoch.
 	Epoch Epoch
+	// Overlap is how many panes cover each served window: WindowWidth
+	// divided by the effective slide, 1 for tumbling configurations.
+	Overlap int
 	// RunsDropped counts partial matches evicted by the current epoch's
 	// compiled sequence matchers under their maxRuns bound (see
 	// cep.WithMaxRuns) — the operator signal that matcher memory pressure
-	// is truncating concrete-window matching. It restarts at zero when a
-	// control-plane epoch recompiles the query plans. Serving paths that
-	// answer purely from released indicators never run the matchers, so
-	// the counter stays zero there.
+	// is truncating concrete-window matching. Compiled plans are reused
+	// across epochs for queries that did not themselves change, so the
+	// counter persists through private-set churn and unrelated query
+	// registrations; a query's share restarts at zero only when
+	// re-registering it forces a recompile. Serving paths that answer
+	// purely from released indicators never run the matchers, so the
+	// counter stays zero there.
 	RunsDropped uint64
 	// Uptime is the time since the runtime started serving.
 	Uptime time.Duration
@@ -600,9 +659,10 @@ type Stats struct {
 func (rt *Runtime) Snapshot() Stats {
 	ctl := rt.ctl.Load()
 	st := Stats{
-		Shards: make([]ShardStats, len(rt.shards)),
-		Epoch:  ctl.epoch,
-		Uptime: time.Since(rt.start),
+		Shards:  make([]ShardStats, len(rt.shards)),
+		Epoch:   ctl.epoch,
+		Overlap: int(rt.cfg.WindowWidth / rt.cfg.slideOrWidth()),
+		Uptime:  time.Since(rt.start),
 	}
 	for _, p := range ctl.plans {
 		st.RunsDropped += p.Dropped()
@@ -615,6 +675,7 @@ func (rt *Runtime) Snapshot() Stats {
 			StreamsEvicted: sh.stats.streamsEvicted.Load(),
 			EventsIn:       sh.stats.eventsIn.Load(),
 			WindowsClosed:  sh.stats.windowsClosed.Load(),
+			PanesClosed:    sh.stats.panesClosed.Load(),
 			AnswersEmitted: sh.stats.answersEmitted.Load(),
 			DroppedLate:    sh.stats.droppedLate.Load(),
 			DroppedFuture:  sh.stats.droppedFuture.Load(),
@@ -638,6 +699,7 @@ func (st Stats) Totals() ShardStats {
 		t.StreamsEvicted += s.StreamsEvicted
 		t.EventsIn += s.EventsIn
 		t.WindowsClosed += s.WindowsClosed
+		t.PanesClosed += s.PanesClosed
 		t.AnswersEmitted += s.AnswersEmitted
 		t.DroppedLate += s.DroppedLate
 		t.DroppedFuture += s.DroppedFuture

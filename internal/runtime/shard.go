@@ -16,6 +16,7 @@ import (
 type shardStats struct {
 	eventsIn       metrics.Counter
 	windowsClosed  metrics.Counter
+	panesClosed    metrics.Counter
 	answersEmitted metrics.Counter
 	droppedLate    metrics.Counter
 	droppedFuture  metrics.Counter
@@ -43,12 +44,14 @@ func (m ingestMsg) size() int64 {
 }
 
 // streamState is the per-stream serving state owned by one shard: the
-// stream's incremental windower, its next window index, and the shard clock
-// reading of its last event (for idle eviction).
+// stream's incremental windower, its next window index, the shard clock
+// reading of its last event (for idle eviction), and the pane-counter
+// watermark already folded into the shard stats.
 type streamState struct {
-	win      *Windower
-	next     int
-	lastSeen int64
+	win       *Windower
+	next      int
+	lastSeen  int64
+	panesSeen int64
 }
 
 // shard is one serving unit: a bounded ingest channel, its own PrivateEngine
@@ -186,7 +189,7 @@ func (s *shard) serve(e event.Event) bool {
 	if st == nil || key != s.lastKey {
 		st = s.streams[key]
 		if st == nil {
-			st = &streamState{win: NewWindower(s.rt.cfg.WindowWidth, s.rt.cfg.Lateness, s.rt.cfg.AllowedLateness, s.rt.cfg.Horizon)}
+			st = &streamState{win: s.rt.cfg.newWindower()}
 			s.streams[key] = st
 			s.stats.streams.Inc()
 		}
@@ -253,6 +256,10 @@ func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
 		return false
 	}
 	s.stats.windowsClosed.Add(int64(len(ws)))
+	if panes := st.win.Panes(); panes != st.panesSeen {
+		s.stats.panesClosed.Add(panes - st.panesSeen)
+		st.panesSeen = panes
+	}
 	if len(s.cur.targets) == 0 {
 		st.next += len(ws)
 		return true
@@ -263,8 +270,19 @@ func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
 	}
 	s.ansScratch = answers
 	s.pubAns = s.pubAns[:0]
+	sliding := s.rt.cfg.sliding()
 	for _, a := range answers {
 		a.WindowIndex += st.next
+		if sliding {
+			// Sliding answers carry interval-only windows: the pane path
+			// never materializes per-window event lists, and the tally
+			// buffers are windower-owned scratch reclaimed on the next
+			// push, so neither may escape to subscribers. (Stripping the
+			// naive baseline's windows too keeps the subscriber-visible
+			// contract independent of the serving strategy.)
+			a.Window.Events = nil
+			a.Window.TypeCounts = nil
+		}
 		s.pubAns = append(s.pubAns, Answer{Stream: key, Shard: s.id, Epoch: s.cur.epoch, Answer: a})
 	}
 	// One bus lookup for the whole batch; sends stay outside the bus lock.

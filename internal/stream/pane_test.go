@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"patterndp/internal/event"
+)
+
+func TestTypeCountsMergeUnmerge(t *testing.T) {
+	a := TypeCounts{}.Add("x").Add("y").Add("x")
+	b := TypeCounts{}.Add("y").Add("z")
+	m := TypeCounts(nil).Merge(a).Merge(b)
+	if got := m.Count("x"); got != 2 {
+		t.Errorf("x: %d, want 2", got)
+	}
+	if got := m.Count("y"); got != 2 {
+		t.Errorf("y: %d, want 2", got)
+	}
+	if got := m.Count("z"); got != 1 {
+		t.Errorf("z: %d, want 1", got)
+	}
+	m = m.Unmerge(a)
+	if got := m.Count("x"); got != 0 {
+		t.Errorf("after unmerge, x: %d, want 0", got)
+	}
+	if got := m.Count("y"); got != 1 {
+		t.Errorf("after unmerge, y: %d, want 1", got)
+	}
+	// Zero entries stay in the running tally but are dropped by CompactNZ.
+	snap := m.CompactNZ(nil)
+	for _, c := range snap {
+		if c.N == 0 {
+			t.Errorf("CompactNZ kept zero entry %q", c.Type)
+		}
+	}
+	if got := snap.Count("y"); got != 1 {
+		t.Errorf("snapshot y: %d, want 1", got)
+	}
+	if got := snap.Count("z"); got != 1 {
+		t.Errorf("snapshot z: %d, want 1", got)
+	}
+}
+
+func TestTypeCountsAddCountNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("subtracting below zero did not panic")
+		}
+	}()
+	TypeCounts{}.Add("x").AddCount("x", -2)
+}
+
+// TestTypeCountsRingEquivalence drives a ring of random pane tallies and
+// asserts the running merge/unmerge tally always equals a from-scratch merge
+// of the panes currently in the ring.
+func TestTypeCountsRingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	types := []event.Type{"a", "b", "c", "d"}
+	const overlap = 4
+	var ring []TypeCounts
+	var running TypeCounts
+	for step := 0; step < 200; step++ {
+		var pane TypeCounts
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			pane = pane.Add(types[rng.Intn(len(types))])
+		}
+		if len(ring) == overlap {
+			running = running.Unmerge(ring[0])
+			ring = ring[1:]
+		}
+		ring = append(ring, pane)
+		running = running.Merge(pane)
+		var want TypeCounts
+		for _, p := range ring {
+			want = want.Merge(p)
+		}
+		for _, typ := range types {
+			if got, w := running.Count(typ), want.Count(typ); got != w {
+				t.Fatalf("step %d type %q: running %d, scratch %d", step, typ, got, w)
+			}
+		}
+	}
+}

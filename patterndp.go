@@ -52,6 +52,14 @@
 // only at per-stream window boundaries, so each released RuntimeAnswer
 // carries the epoch — hence the exact registration state — it was served
 // under.
+//
+// Setting RuntimeConfig.Slide below WindowWidth serves sliding windows:
+// each stream is cut into non-overlapping panes of the slide width and
+// every window is assembled from a ring of per-pane tallies, so overlapping
+// windows share their evaluation work instead of re-buffering and
+// re-scanning events per window (see the README's "Sliding windows"
+// section). Slide unset or equal to WindowWidth preserves tumbling behavior
+// exactly.
 package patterndp
 
 import (
@@ -131,8 +139,17 @@ type (
 	Sharder = runtime.Sharder
 	// HashSharder is the default stream-key hash Sharder.
 	HashSharder = runtime.HashSharder
-	// Windower incrementally cuts one stream into tumbling windows.
+	// Windower incrementally cuts one stream into tumbling or sliding
+	// windows (sliding windows are assembled from panes of the slide
+	// width; see NewSlidingWindower).
 	Windower = runtime.Windower
+	// Pane is a non-overlapping slice of the stream: the work-sharing
+	// unit of sliding windows.
+	Pane = stream.Pane
+	// SlidingEval evaluates one compiled Plan continuously over a
+	// pane-sliced stream, sharing detection work across overlapping
+	// windows (see Plan.Sliding).
+	SlidingEval = cep.SlidingEval
 	// LatenessPolicy selects how out-of-order events are treated.
 	LatenessPolicy = runtime.LatenessPolicy
 	// BackpressurePolicy selects what Ingest does when a shard is full.
@@ -282,6 +299,17 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return runtime.New(cfg) }
 // stream's newest event (0 disables the bound).
 func NewWindower(width Timestamp, policy LatenessPolicy, lateness, horizon Timestamp) *Windower {
 	return runtime.NewWindower(width, policy, lateness, horizon)
+}
+
+// NewSlidingWindower builds an incremental sliding windower: windows of the
+// given width advancing by slide (a positive divisor of width), assembled
+// from panes of the slide width so overlapping windows share their tally
+// work. Pane-assembled windows carry TypeCounts but no Events, and their
+// tally buffers are windower-owned scratch valid only until the next
+// Push/Flush — see the Windower.PushInto contract. slide == width
+// degenerates to NewWindower.
+func NewSlidingWindower(width, slide Timestamp, policy LatenessPolicy, lateness, horizon Timestamp) *Windower {
+	return runtime.NewSlidingWindower(width, slide, policy, lateness, horizon)
 }
 
 // WindowSlice batches a time-ordered event slice into tumbling windows.
