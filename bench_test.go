@@ -472,7 +472,10 @@ func hotPathQueries(selective bool, width event.Timestamp) []cep.Query {
 // factor: overlap=1 is the original tumbling configuration (Slide unset),
 // overlap=k serves sliding windows of width 32k. naive selects the
 // brute-force per-window re-evaluation baseline instead of pane assembly.
-func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive bool) {
+// budget enables privacy-budget accounting with an effectively unlimited
+// grant, so every window is admitted and the rows measure pure ledger
+// overhead on the publish path (which must stay 0 allocs/op).
+func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive, budget bool) {
 	private, err := core.NewPatternType("p", "c0", "c1", "c2")
 	if err != nil {
 		b.Fatal(err)
@@ -497,6 +500,10 @@ func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive bool
 	}
 	if overlap > 1 {
 		cfg.Slide = slide
+	}
+	if budget {
+		cfg.Budget = dp.Epsilon(1e12)
+		cfg.BudgetPolicy = runtime.BudgetDeny
 	}
 	rt, err := runtime.New(cfg)
 	if err != nil {
@@ -553,14 +560,20 @@ func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive bool
 // a fixed one-window-per-32-events cadence; see benchServeWindow). allocs/op
 // is the allocation-discipline signal; events/s the throughput signal.
 // Compare the overlap>1 rows against BenchmarkServeWindowNaiveSliding for
-// the pane-sharing speedup. CI records the results in BENCH_serve.json.
+// the pane-sharing speedup, and the budget=on rows against budget=off for
+// the privacy-ledger overhead (accounting must keep the path 0 allocs/op).
+// CI records the results in BENCH_serve.json.
 func BenchmarkServeWindowHotPath(b *testing.B) {
 	for _, mode := range []string{"selective", "dense"} {
 		for _, shards := range []int{1, 4, 8} {
 			for _, overlap := range []int{1, 4, 8} {
-				b.Run(fmt.Sprintf("%s/shards=%d/overlap=%d", mode, shards, overlap), func(b *testing.B) {
-					benchServeWindow(b, mode, shards, overlap, false)
-				})
+				for _, budget := range []bool{false, true} {
+					name := fmt.Sprintf("%s/shards=%d/overlap=%d/budget=%s",
+						mode, shards, overlap, map[bool]string{false: "off", true: "on"}[budget])
+					b.Run(name, func(b *testing.B) {
+						benchServeWindow(b, mode, shards, overlap, false, budget)
+					})
+				}
 			}
 		}
 	}
@@ -577,7 +590,7 @@ func BenchmarkServeWindowNaiveSliding(b *testing.B) {
 		for _, shards := range []int{1, 8} {
 			for _, overlap := range []int{4, 8} {
 				b.Run(fmt.Sprintf("%s/shards=%d/overlap=%d", mode, shards, overlap), func(b *testing.B) {
-					benchServeWindow(b, mode, shards, overlap, true)
+					benchServeWindow(b, mode, shards, overlap, true, false)
 				})
 			}
 		}

@@ -6,16 +6,29 @@
 // Usage:
 //
 //	dpaudit -eps 1.0 -m 3 -trials 100000
+//	dpaudit -serve -eps 1.0 -budget 8 -trials 20000
+//
+// With -serve it audits the streaming runtime's privacy-budget ledger
+// end-to-end: a budgeted serving run (sliding windows, Deny policy) produces
+// a ledger snapshot whose declared bounds — per-release charge, per-stream
+// sequential spend vs. the grant, and the w-event composed per-event loss —
+// are checked for internal consistency, and the per-release empirical ε̂
+// measured on the same mechanism must not exceed the ledger's declared
+// charge. The exit status is non-zero when the empirical measurement exceeds
+// the declared bound, so CI can run it as a smoke gate.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
+	"patterndp/internal/cep"
 	"patterndp/internal/core"
 	"patterndp/internal/dp"
 	"patterndp/internal/event"
+	"patterndp/internal/runtime"
 )
 
 func main() {
@@ -24,20 +37,24 @@ func main() {
 		m      = flag.Int("m", 3, "private pattern length")
 		trials = flag.Int("trials", 100000, "samples per neighbor input")
 		seed   = flag.Int64("seed", 1, "audit seed")
+		serve  = flag.Bool("serve", false, "audit the serving ledger: run a budgeted serving pass and compare declared vs empirical ε")
+		budget = flag.Float64("budget", 0, "per-stream grant for -serve (default 8 x eps)")
 	)
 	flag.Parse()
-	if err := run(*eps, *m, *trials, *seed); err != nil {
+	var err error
+	if *serve {
+		err = runServe(*eps, *m, *trials, *seed, *budget)
+	} else {
+		err = run(*eps, *m, *trials, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpaudit:", err)
 		os.Exit(1)
 	}
 }
 
 func run(eps float64, m, trials int, seed int64) error {
-	elements := make([]event.Type, m)
-	for i := range elements {
-		elements[i] = event.Type(fmt.Sprintf("e%d", i+1))
-	}
-	pt, err := core.NewPatternType("audited", elements...)
+	pt, err := patternType(m)
 	if err != nil {
 		return err
 	}
@@ -74,5 +91,144 @@ func run(eps float64, m, trials int, seed int64) error {
 		fmt.Printf("  verdict: %s (full-pattern %.4f vs eps %.3f + slack)\n\n",
 			status, v.FullPattern, eps)
 	}
+	return nil
+}
+
+func patternType(m int) (core.PatternType, error) {
+	elements := make([]event.Type, m)
+	for i := range elements {
+		elements[i] = event.Type(fmt.Sprintf("e%d", i+1))
+	}
+	return core.NewPatternType("audited", elements...)
+}
+
+// runServe audits the privacy-budget ledger: serve a small budgeted run,
+// check the ledger's declared bounds for internal consistency, then measure
+// the per-release empirical ε̂ on the same mechanism and hold it to the
+// ledger's declared charge.
+func runServe(eps float64, m, trials int, seed int64, budget float64) error {
+	if budget <= 0 {
+		budget = 8 * eps
+	}
+	// The empirical ratio estimator overshoots at small samples, and the
+	// verdict's fixed slack assumes the estimate has converged — floor the
+	// sample size so the gate fails only on real violations.
+	const minServeTrials = 20000
+	if trials < minServeTrials {
+		fmt.Printf("raising -trials %d to %d: the serve-audit verdict needs a converged estimate\n",
+			trials, minServeTrials)
+		trials = minServeTrials
+	}
+	pt, err := patternType(m)
+	if err != nil {
+		return err
+	}
+	const (
+		streams = 4
+		slide   = event.Timestamp(10)
+		overlap = 2
+		windows = 40
+	)
+	cfg := runtime.Config{
+		Shards:      2,
+		WindowWidth: slide * overlap,
+		Slide:       slide,
+		Mechanism: func(int) (core.Mechanism, error) {
+			return core.NewUniformPPM(dp.Epsilon(eps), pt)
+		},
+		Private:      []core.PatternType{pt},
+		Targets:      []cep.Query{{Name: "audit-q", Pattern: cep.E(pt.Elements[0]), Window: slide * overlap}},
+		Seed:         seed,
+		Budget:       dp.Epsilon(budget),
+		BudgetPolicy: runtime.BudgetDeny,
+	}
+	rt, err := runtime.New(cfg)
+	if err != nil {
+		return err
+	}
+	// Drain answers so publishing never stalls.
+	sub, err := rt.Subscribe("")
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	var answers, released int
+	go func() {
+		defer close(done)
+		for a := range sub.C() {
+			answers++
+			if !a.Suppressed {
+				released++
+			}
+		}
+	}()
+	for s := 0; s < streams; s++ {
+		key := fmt.Sprintf("audit-%d", s)
+		for w := event.Timestamp(0); w < windows; w++ {
+			for i, el := range pt.Elements {
+				e := event.New(el, w*slide+event.Timestamp(i)).WithSource(key)
+				if err := rt.Ingest(e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := rt.Close(); err != nil {
+		return err
+	}
+	<-done
+	b := rt.Snapshot().Budget
+	if b == nil {
+		return fmt.Errorf("serving run produced no budget snapshot")
+	}
+
+	fmt.Printf("ledger: grant %.3f/stream/epoch, charge %.3f/window, policy %s, overlap %d\n",
+		float64(b.Grant), float64(b.Charge), b.Policy, b.Overlap)
+	fmt.Printf("ledger: %d admitted, %d denied of %d decisions across %d streams (%d answers, %d released)\n",
+		b.Admitted, b.Denied, b.Admitted+b.Denied+b.Suppressed, b.Streams, answers, released)
+	fmt.Printf("ledger: spent %.4f (+%.4f retired), max stream %.4f, w-event composed max %.4f\n",
+		float64(b.Spent), float64(b.Retired), float64(b.MaxStreamSpent), float64(b.MaxComposed))
+
+	fail := func(format string, args ...any) error {
+		fmt.Printf("  verdict: FAIL — "+format+"\n", args...)
+		return fmt.Errorf("ledger audit failed")
+	}
+	tol := dp.SpendTolerance(dp.Epsilon(budget)) + 1e-12
+	// Internal consistency: the declared charge is the mechanism's claim,
+	// spend is exactly admitted x charge, and both composition bounds hold.
+	if math.Abs(float64(b.Charge)-eps) > 1e-12 {
+		return fail("declared charge %.4f != mechanism eps %.4f", float64(b.Charge), eps)
+	}
+	if got, want := float64(b.Spent)+float64(b.Retired), float64(b.Admitted)*eps; math.Abs(got-want) > 1e-9 {
+		return fail("ledger spend %.6f != admitted x charge %.6f", got, want)
+	}
+	if float64(b.MaxStreamSpent) > budget+tol {
+		return fail("per-stream spend %.4f exceeds declared grant %.4f", float64(b.MaxStreamSpent), budget)
+	}
+	if bound := math.Min(budget, float64(overlap)*eps); float64(b.MaxComposed) > bound+tol {
+		return fail("w-event composed loss %.4f exceeds declared bound %.4f", float64(b.MaxComposed), bound)
+	}
+
+	// Empirical per-release audit of the same mechanism: the observed
+	// log-likelihood ratio must stay within the ledger's declared
+	// per-window charge (plus sampling slack).
+	mech, err := core.NewUniformPPM(dp.Epsilon(eps), pt)
+	if err != nil {
+		return err
+	}
+	aud := core.Auditor{Trials: trials, Seed: seed}
+	results, err := aud.AuditPattern(mech, pt, map[event.Type]bool{"public": true}, float64(b.Charge))
+	if err != nil {
+		return err
+	}
+	v := core.Summarize(results, 0.1)
+	fmt.Printf("empirical: per-release eps-hat %.4f over %d trials (declared charge %.4f)\n",
+		v.FullPattern, trials, float64(b.Charge))
+	fmt.Printf("empirical: implied w-event composed %.4f (declared %.4f)\n",
+		float64(overlap)*v.FullPattern, math.Min(budget, float64(overlap)*eps))
+	if !v.Pass {
+		return fail("empirical eps-hat %.4f exceeds declared charge %.4f + slack", v.FullPattern, float64(b.Charge))
+	}
+	fmt.Println("  verdict: PASS — empirical eps-hat within the ledger's declared bound")
 	return nil
 }

@@ -11,6 +11,7 @@
 //	ppmserve -churn 10
 //	ppmserve -batch 256 -cpuprofile cpu.out -memprofile mem.out
 //	ppmserve -slide 25 -snap 2s
+//	ppmserve -budget 100 -budget-policy throttle
 //
 // With -slide less than the window width the runtime serves sliding windows
 // assembled from panes of the slide width (see README "Sliding windows");
@@ -18,21 +19,36 @@
 // comparison. -snap prints a periodic serving snapshot line — events,
 // windows, panes, overlap, answers — while traffic flows.
 //
+// With -budget the runtime runs the privacy-budget ledger (see README
+// "Privacy accounting"): each stream is granted that much pattern-level ε
+// per budget epoch, every released window charges -eps against it, and
+// -budget-policy (deny | suppress | throttle | rotate-epoch) selects the
+// exhaustion behavior. The final report then includes the ledger snapshot.
+//
+// SIGINT/SIGTERM shut the server down gracefully: producers stop, in-flight
+// windows are drained and flushed through CloseContext, and the final report
+// (including the budget snapshot) is printed. A second signal aborts.
+//
 // The -cpuprofile/-memprofile flags write pprof profiles of the serving run,
 // so hot-path regressions can be diagnosed in the demo binary with
 // `go tool pprof`.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	goruntime "runtime"
 	"runtime/pprof"
 	"sync"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
+	"patterndp/internal/account"
 	"patterndp/internal/cep"
 	"patterndp/internal/core"
 	"patterndp/internal/dp"
@@ -43,22 +59,24 @@ import (
 
 func main() {
 	var (
-		shards   = flag.Int("shards", 8, "serving shards")
-		streams  = flag.Int("streams", 32, "concurrent event streams")
-		windows  = flag.Int("windows", 500, "windows generated per stream")
-		eps      = flag.Float64("eps", 1.0, "pattern-level privacy budget")
-		seed     = flag.Int64("seed", 1, "random seed")
-		buffer   = flag.Int("buffer", 256, "per-shard ingest buffer")
-		bp       = flag.String("backpressure", "block", "backpressure policy: block | drop-oldest")
-		lateness = flag.Int64("lateness", 0, "allowed lateness (>0 enables the reorder buffer)")
-		horizon  = flag.Int64("horizon", 0, "max forward timestamp jump per stream (0 = unbounded)")
-		churn    = flag.Float64("churn", 0, "control-plane churn: probe-query (un)registrations per second")
-		batch    = flag.Int("batch", 1, "events per IngestBatch call (1 = per-event Ingest)")
-		slide    = flag.Int64("slide", 0, "window slide in logical time (0 = window width, i.e. tumbling; must divide the width)")
-		naive    = flag.Bool("naive", false, "serve sliding windows by brute-force per-window re-evaluation (comparison baseline)")
-		snap     = flag.Duration("snap", 0, "print a periodic serving snapshot at this interval (0 = off)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		shards    = flag.Int("shards", 8, "serving shards")
+		streams   = flag.Int("streams", 32, "concurrent event streams")
+		windows   = flag.Int("windows", 500, "windows generated per stream")
+		eps       = flag.Float64("eps", 1.0, "pattern-level privacy budget")
+		seed      = flag.Int64("seed", 1, "random seed")
+		buffer    = flag.Int("buffer", 256, "per-shard ingest buffer")
+		bp        = flag.String("backpressure", "block", "backpressure policy: block | drop-oldest")
+		lateness  = flag.Int64("lateness", 0, "allowed lateness (>0 enables the reorder buffer)")
+		horizon   = flag.Int64("horizon", 0, "max forward timestamp jump per stream (0 = unbounded)")
+		churn     = flag.Float64("churn", 0, "control-plane churn: probe-query (un)registrations per second")
+		batch     = flag.Int("batch", 1, "events per IngestBatch call (1 = per-event Ingest)")
+		slide     = flag.Int64("slide", 0, "window slide in logical time (0 = window width, i.e. tumbling; must divide the width)")
+		naive     = flag.Bool("naive", false, "serve sliding windows by brute-force per-window re-evaluation (comparison baseline)")
+		snap      = flag.Duration("snap", 0, "print a periodic serving snapshot at this interval (0 = off)")
+		budget    = flag.Float64("budget", 0, "per-stream privacy-budget grant per epoch (0 = accounting off)")
+		budgetPol = flag.String("budget-policy", "deny", "budget exhaustion policy: deny | suppress | throttle | rotate-epoch")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 	// profiledRun keeps the profile defers on a frame that returns before
@@ -75,7 +93,7 @@ func main() {
 			}
 			defer pprof.StopCPUProfile()
 		}
-		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch, *slide, *naive, *snap)
+		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch, *slide, *naive, *snap, *budget, *budgetPol)
 	}
 	if err := profiledRun(); err != nil {
 		fmt.Fprintln(os.Stderr, "ppmserve:", err)
@@ -96,10 +114,19 @@ func main() {
 	}
 }
 
-func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int, slide int64, naive bool, snap time.Duration) error {
+func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int, slide int64, naive bool, snap time.Duration, budget float64, budgetPol string) error {
 	if batch < 1 {
 		return fmt.Errorf("batch size %d must be >= 1", batch)
 	}
+	policy, err := account.ParsePolicy(budgetPol)
+	if err != nil {
+		return err
+	}
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the producers so
+	// CloseContext can drain in-flight windows and the final report (with
+	// the budget snapshot) still prints; a second signal aborts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	scfg := synth.DefaultConfig(seed)
 	scfg.NumWindows = windows
 	ds, err := synth.Generate(scfg)
@@ -119,10 +146,12 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 		MechanismFor: func(_ int, private []core.PatternType) (core.Mechanism, error) {
 			return core.NewUniformPPM(dp.Epsilon(eps), private...)
 		},
-		Private:     private,
-		Targets:     ds.TargetQueries(),
-		Seed:        seed,
-		ShardBuffer: buffer,
+		Private:      private,
+		Targets:      ds.TargetQueries(),
+		Seed:         seed,
+		ShardBuffer:  buffer,
+		Budget:       dp.Epsilon(budget),
+		BudgetPolicy: policy,
 	}
 	switch bp {
 	case "block":
@@ -178,9 +207,10 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 		}()
 	}
 
-	// One subscriber per target query, counting detections.
+	// One subscriber per target query, counting detections (and, under a
+	// budget, suppressed placeholder releases).
 	type tally struct {
-		answers, detected int
+		answers, detected, suppressed int
 	}
 	tallies := make([]tally, len(cfg.Targets))
 	var consumers sync.WaitGroup
@@ -195,7 +225,9 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 			defer consumers.Done()
 			for a := range sub.C() {
 				tallies[qi].answers++
-				if a.Detected {
+				if a.Suppressed {
+					tallies[qi].suppressed++
+				} else if a.Detected {
 					tallies[qi].detected++
 				}
 			}
@@ -236,7 +268,8 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	}
 
 	// One producer per stream, replaying the synthetic feed under its own
-	// stream key — batched through IngestBatch when -batch > 1.
+	// stream key — batched through IngestBatch when -batch > 1. The signal
+	// context cancels producers mid-feed on SIGINT/SIGTERM.
 	var producers sync.WaitGroup
 	for i := 0; i < streams; i++ {
 		producers.Add(1)
@@ -248,8 +281,10 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 				if len(buf) == 0 {
 					return true
 				}
-				if err := rt.IngestBatch(buf); err != nil {
-					fmt.Fprintln(os.Stderr, "ingest:", err)
+				if err := rt.IngestBatchContext(ctx, buf); err != nil {
+					if !errors.Is(err, context.Canceled) {
+						fmt.Fprintln(os.Stderr, "ingest:", err)
+					}
 					return false
 				}
 				buf = buf[:0]
@@ -269,9 +304,20 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	churner.Wait()
 	close(snapStop)
 	snapper.Wait()
+	interrupted := ctx.Err() != nil
+	if interrupted {
+		fmt.Println("\ninterrupted — draining in-flight windows (signal again to abort)")
+	}
+	// Drain and flush through CloseContext so trailing windows are still
+	// answered; a second signal (fresh NotifyContext) abandons the wait.
 	// Keep the Close error for after the report: on a shard failure the
 	// counters below are exactly what explains it.
-	closeErr := rt.Close()
+	closeCtx, closeStop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer closeStop()
+	closeErr := rt.CloseContext(closeCtx)
+	if closeErr != nil && errors.Is(closeErr, context.Canceled) {
+		return fmt.Errorf("aborted while draining")
+	}
 	consumers.Wait()
 
 	st := rt.Snapshot()
@@ -322,7 +368,23 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 		if tallies[qi].answers > 0 {
 			rate = float64(tallies[qi].detected) / float64(tallies[qi].answers)
 		}
-		fmt.Printf("  %-12s %6d answers, %5.1f%% detected\n", q.Name, tallies[qi].answers, 100*rate)
+		if b := st.Budget; b != nil && tallies[qi].suppressed > 0 {
+			fmt.Printf("  %-12s %6d answers, %5.1f%% detected, %d suppressed\n",
+				q.Name, tallies[qi].answers, 100*rate, tallies[qi].suppressed)
+		} else {
+			fmt.Printf("  %-12s %6d answers, %5.1f%% detected\n", q.Name, tallies[qi].answers, 100*rate)
+		}
+	}
+	if b := st.Budget; b != nil {
+		fmt.Printf("\nprivacy budget (policy %s, epoch %d): grant %g per stream, charge %g per window\n",
+			b.Policy, b.Epoch, float64(b.Grant), float64(b.Charge))
+		fmt.Printf("  spend: total %.4g (retired %.4g), max stream %.4g, w-event composed max %.4g (overlap %d)\n",
+			float64(b.Spent), float64(b.Retired), float64(b.MaxStreamSpent), float64(b.MaxComposed), b.Overlap)
+		fmt.Printf("  decisions: %d admitted, %d denied, %d suppressed, %d throttled; %d/%d streams exhausted; %d rotations\n",
+			b.Admitted, b.Denied, b.Suppressed, b.Throttled, b.Exhausted, b.Streams, b.Rotations)
+		for _, q := range b.PerQuery {
+			fmt.Printf("  query %-12s attributed eps %.4g\n", q.Query, float64(q.Eps))
+		}
 	}
 	return closeErr
 }

@@ -181,6 +181,11 @@ func (pe *PrivateEngine) callRNG() *pooledRNG {
 
 func putRNG(p *pooledRNG) { rngPool.Put(p) }
 
+// Mechanism returns the engine's mechanism. It is immutable after
+// construction; the streaming runtime reads its TotalEpsilon as the
+// per-window release charge for privacy-budget accounting.
+func (pe *PrivateEngine) Mechanism() Mechanism { return pe.mechanism }
+
 // RegisterTarget adds a data consumer's target query, replacing any
 // registered query with the same name.
 func (pe *PrivateEngine) RegisterTarget(q cep.Query) error {

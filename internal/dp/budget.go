@@ -7,6 +7,30 @@ import (
 	"sync"
 )
 
+// Sum is a Neumaier-compensated running sum: each Add tracks the rounding
+// error the naive addition lost, so a long run of spends — including tiny
+// spends absorbed entirely by a large partial sum — accumulates with an error
+// of one ulp instead of drifting by O(n) ulps. The zero value is an empty
+// sum. Sum is not safe for concurrent use; it is the single-writer
+// accumulator behind Accountant and the streaming ledger.
+type Sum struct {
+	s, c float64
+}
+
+// Add accumulates x.
+func (k *Sum) Add(x float64) {
+	t := k.s + x
+	if math.Abs(k.s) >= math.Abs(x) {
+		k.c += (k.s - t) + x
+	} else {
+		k.c += (x - t) + k.s
+	}
+	k.s = t
+}
+
+// Value returns the compensated sum.
+func (k Sum) Value() float64 { return k.s + k.c }
+
 // Accountant tracks a total privacy budget and the amounts spent against it,
 // keyed by a free-form label (an event type, a timestamp, a mechanism name).
 // Sequential composition applies: total spend is the sum of all spends.
@@ -15,6 +39,11 @@ type Accountant struct {
 	mu    sync.Mutex
 	total Epsilon
 	spent map[string]Epsilon
+	// sum is the compensated running total of all spends. The per-key map
+	// is kept for attribution; enforcement reads the compensated sum, so
+	// rounding drift from many small spends cannot creep past total before
+	// ErrBudgetExhausted fires (nor exhaust the budget early).
+	sum Sum
 }
 
 // NewAccountant creates an accountant with the given total budget.
@@ -36,11 +65,7 @@ func (a *Accountant) Spent() Epsilon {
 }
 
 func (a *Accountant) spentLocked() Epsilon {
-	var sum Epsilon
-	for _, v := range a.spent {
-		sum += v
-	}
-	return sum
+	return Epsilon(a.sum.Value())
 }
 
 // Remaining returns the unspent budget (never negative).
@@ -54,19 +79,32 @@ func (a *Accountant) Remaining() Epsilon {
 	return rem
 }
 
+// SpendTolerance returns the float-rounding slack Spend allows on a total
+// budget: a few ulps, so an exact split (m spends of total/m) always fits
+// while anything past one more representable spend is rejected. The old
+// fixed 1e-9 tolerance let accumulated rounding drift admit real over-spends.
+func SpendTolerance(total Epsilon) float64 {
+	return math.Abs(float64(total)) * 1e-15
+}
+
 // Spend records a spend under key. It fails with ErrBudgetExhausted when the
-// spend would exceed the total (within a small tolerance for float error).
+// spend would exceed the total. The running total is a compensated Sum and
+// the comparison allows only ulp-scale slack (SpendTolerance), so repeated
+// tiny spends can neither drift past the total unnoticed nor be absorbed
+// into a large partial sum and spend forever for free.
 func (a *Accountant) Spend(key string, eps Epsilon) error {
 	if !eps.Valid() {
 		return fmt.Errorf("dp: invalid spend %v", eps)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	const tol = 1e-9
-	if float64(a.spentLocked()+eps) > float64(a.total)+tol {
+	next := a.sum
+	next.Add(float64(eps))
+	if next.Value() > float64(a.total)+SpendTolerance(a.total) {
 		return fmt.Errorf("%w: spent %.6g + %.6g > total %.6g",
 			ErrBudgetExhausted, float64(a.spentLocked()), float64(eps), float64(a.total))
 	}
+	a.sum = next
 	a.spent[key] += eps
 	return nil
 }
@@ -95,6 +133,7 @@ func (a *Accountant) Reset() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.spent = make(map[string]Epsilon)
+	a.sum = Sum{}
 }
 
 // Distribution is an allocation of a total budget across m items. It is the

@@ -1,0 +1,143 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"testing"
+)
+
+// TestSumCompensation checks the Neumaier sum against exact big.Float
+// arithmetic on the pattern naive summation gets wrong: many values too small
+// to move the running total individually.
+func TestSumCompensation(t *testing.T) {
+	var k Sum
+	exact := new(big.Float).SetPrec(200)
+	k.Add(1.0)
+	exact.Add(exact, big.NewFloat(1.0))
+	for i := 0; i < 1000; i++ {
+		k.Add(1e-17) // below ulp(1.0): naive addition absorbs every one
+		exact.Add(exact, big.NewFloat(1e-17))
+	}
+	want, _ := exact.Float64()
+	if got := k.Value(); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("compensated sum = %.20g, exact = %.20g", got, want)
+	}
+	// The naive sum loses all 1000 additions.
+	naive := 1.0
+	for i := 0; i < 1000; i++ {
+		naive += 1e-17
+	}
+	if naive != 1.0 {
+		t.Fatalf("expected naive absorption, got %.20g", naive)
+	}
+}
+
+// TestAccountantExactSplit: an exact m-way split of the budget spends fully
+// and the next spend fails — the ulp-scale tolerance admits the split's
+// rounding but nothing more.
+func TestAccountantExactSplit(t *testing.T) {
+	const m = 7
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := Epsilon(1.0 / m)
+	for i := 0; i < m; i++ {
+		if err := a.Spend("k", part); err != nil {
+			t.Fatalf("spend %d/%d: %v", i+1, m, err)
+		}
+	}
+	if err := a.Spend("k", part); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("spend past total: got %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestAccountantTinySpendDrift is the regression for the float-tolerance
+// edge: a long run of tiny spends must stop exactly when the true
+// (infinitely precise) total is reached, not when the drifted naive sum says
+// so. fl(1e-6) is slightly above 1e-6, so exactly 999_999 spends fit a total
+// of 1 and the millionth must fail.
+func TestAccountantTinySpendDrift(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := Epsilon(1e-6)
+	n := 0
+	for {
+		if err := a.Spend("tiny", eps); err != nil {
+			if !errors.Is(err, ErrBudgetExhausted) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		n++
+		if n > 2_000_000 {
+			t.Fatal("budget never exhausted")
+		}
+	}
+	// Exact check: n*fl(eps) <= total < (n+1)*fl(eps), modulo the ulp-scale
+	// tolerance.
+	total := new(big.Float).SetPrec(200).SetFloat64(1.0)
+	step := new(big.Float).SetPrec(200).SetFloat64(1e-6)
+	spent := new(big.Float).SetPrec(200).Mul(step, big.NewFloat(float64(n)))
+	slack := big.NewFloat(SpendTolerance(1.0) + 1e-18)
+	if spent.Cmp(new(big.Float).Add(total, slack)) > 0 {
+		t.Fatalf("admitted %d spends: true total %v exceeds budget", n, spent)
+	}
+	next := new(big.Float).Add(spent, step)
+	if next.Cmp(new(big.Float).Sub(total, slack)) < 0 {
+		t.Fatalf("stopped early at %d spends: one more would still fit", n)
+	}
+	if got := float64(a.Spent()); math.Abs(got-float64(n)*1e-6) > 1e-9 {
+		t.Fatalf("Spent() = %v, want ~%v", got, float64(n)*1e-6)
+	}
+}
+
+// TestAccountantAbsorptionExhausts: after a spend close to the total, tiny
+// spends below the ulp of the running sum must still accumulate and exhaust
+// the budget — under naive summation they are absorbed and spend forever.
+func TestAccountantAbsorptionExhausts(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := Epsilon(1 - 1e-12)
+	if err := a.Spend("head", head); err != nil {
+		t.Fatal(err)
+	}
+	eps := Epsilon(1e-16) // below ulp(~1.0): absorbed by a naive sum
+	exhausted := false
+	for i := 0; i < 100_000; i++ {
+		if err := a.Spend("tail", eps); err != nil {
+			if !errors.Is(err, ErrBudgetExhausted) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			exhausted = true
+			break
+		}
+	}
+	if !exhausted {
+		t.Fatal("100k absorbed spends never exhausted the budget")
+	}
+}
+
+// TestAccountantResetClearsSum: Reset must clear the compensated total too,
+// not only the attribution map.
+func TestAccountantResetClearsSum(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("k", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+	if got := a.Spent(); got != 0 {
+		t.Fatalf("Spent after Reset = %v", got)
+	}
+	if err := a.Spend("k", 1.0); err != nil {
+		t.Fatalf("full spend after Reset: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"patterndp/internal/core"
+	"patterndp/internal/dp"
 )
 
 // Answer is one released query answer enriched with serving provenance: the
@@ -22,6 +23,18 @@ type Answer struct {
 	Shard int
 	// Epoch is the control-plane epoch the window was served under.
 	Epoch Epoch
+	// SpentEpsilon is the stream's sequential privacy spend in its current
+	// budget epoch after this window's release, and RemainingEpsilon the
+	// unspent grant. Both are zero unless Config.Budget enables accounting.
+	SpentEpsilon dp.Epsilon
+	// RemainingEpsilon is the stream's unspent grant (never negative).
+	RemainingEpsilon dp.Epsilon
+	// Suppressed marks a data-independent placeholder released in place of
+	// a real answer the stream's budget could not cover (BudgetSuppress /
+	// BudgetThrottle / the window that triggered BudgetRotateEpoch):
+	// Detected is unconditionally false and the window carries its
+	// interval only. Suppressed answers spend no budget.
+	Suppressed bool
 	core.Answer
 }
 

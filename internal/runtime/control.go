@@ -49,6 +49,12 @@ type controlState struct {
 	// adjust the live engine's target set in place, preserving mechanism
 	// state.
 	privEpoch Epoch
+	// budgetEpoch is the epoch at which the privacy-budget grant was last
+	// rotated (0 is the construction grant). Shards apply it at window
+	// boundaries like every epoch; streams restart their spend
+	// accumulation under the fresh grant at their next release. See
+	// Runtime.RotateBudget and the BudgetRotateEpoch policy.
+	budgetEpoch Epoch
 	// private are the protected pattern types, sorted by name.
 	private []core.PatternType
 	// targets are the registered target queries, sorted by name.
@@ -127,12 +133,13 @@ func (st *controlState) recompile(prev *controlState) {
 // clone copies the state so a mutation never aliases a published epoch.
 func (st *controlState) clone() *controlState {
 	next := &controlState{
-		epoch:     st.epoch,
-		privEpoch: st.privEpoch,
-		private:   append([]core.PatternType(nil), st.private...),
-		targets:   append([]cep.Query(nil), st.targets...),
-		plans:     st.plans, // replaced by recompile when targets change
-		queries:   make(map[string]bool, len(st.queries)),
+		epoch:       st.epoch,
+		privEpoch:   st.privEpoch,
+		budgetEpoch: st.budgetEpoch,
+		private:     append([]core.PatternType(nil), st.private...),
+		targets:     append([]cep.Query(nil), st.targets...),
+		plans:       st.plans, // replaced by recompile when targets change
+		queries:     make(map[string]bool, len(st.queries)),
 	}
 	for name := range st.queries {
 		next.queries[name] = true
@@ -279,6 +286,65 @@ func (rt *Runtime) UnregisterQuery(q cep.Query) (Epoch, error) {
 		return nil
 	})
 }
+
+// targetNames returns the state's target-query names (sorted, since targets
+// are name-sorted) for per-query budget attribution.
+func (st *controlState) targetNames() []string {
+	names := make([]string, len(st.targets))
+	for i, q := range st.targets {
+		names[i] = q.Name
+	}
+	return names
+}
+
+// RotateBudget rotates the privacy-budget epoch: every stream's spend
+// accumulation restarts under a fresh Config.Budget grant at the stream's
+// next release, and the retired epoch's spend is archived in
+// Stats.Budget.Retired. Like every control-plane change it is stamped with
+// the next epoch and applied by shards at window boundaries, so answers
+// served under the fresh grant carry an epoch at or past the returned one.
+// Rotation is the explicit, audited decision to scope the privacy guarantee
+// to a new epoch — see the account package docs. It works (as a plain epoch
+// stamp) even when accounting is disabled.
+func (rt *Runtime) RotateBudget() (Epoch, error) {
+	ep, err := rt.mutate(func(_, next *controlState) error {
+		next.budgetEpoch = next.epoch
+		return nil
+	})
+	if err == nil && rt.ledger != nil {
+		rt.ledger.CountRotation()
+	}
+	return ep, err
+}
+
+// errStaleRotation aborts a shard-requested rotation that lost the race to
+// another rotation of the same observed epoch.
+var errStaleRotation = errors.New("runtime: stale budget rotation")
+
+// rotateBudgetFrom is the BudgetRotateEpoch policy's level-triggered
+// rotation: it rotates only if the budget epoch still equals the one the
+// shard observed when its stream exhausted, so many streams exhausting under
+// one epoch produce one rotation, not a storm.
+func (rt *Runtime) rotateBudgetFrom(observed Epoch) (Epoch, error) {
+	ep, err := rt.mutate(func(prev, next *controlState) error {
+		if prev.budgetEpoch != observed {
+			return errStaleRotation
+		}
+		next.budgetEpoch = next.epoch
+		return nil
+	})
+	if errors.Is(err, errStaleRotation) {
+		return rt.ctl.Load().budgetEpoch, nil
+	}
+	if err == nil && rt.ledger != nil {
+		rt.ledger.CountRotation()
+	}
+	return ep, err
+}
+
+// BudgetEpoch returns the current budget epoch: the control-plane epoch at
+// which the per-stream grant was last rotated (0 before any rotation).
+func (rt *Runtime) BudgetEpoch() Epoch { return rt.ctl.Load().budgetEpoch }
 
 // Epoch returns the current control-plane epoch. Shards converge to it at
 // their next window boundary; per-shard applied epochs are in Snapshot.

@@ -9,11 +9,36 @@ import (
 	"sync/atomic"
 	"time"
 
+	"patterndp/internal/account"
 	"patterndp/internal/cep"
 	"patterndp/internal/core"
+	"patterndp/internal/dp"
 	"patterndp/internal/event"
 	"patterndp/internal/metrics"
 )
+
+// BudgetPolicy selects what the runtime does with a window release that a
+// stream's remaining privacy budget cannot cover; see Config.Budget.
+type BudgetPolicy = account.Policy
+
+// Budget admission policies, re-exported from internal/account.
+const (
+	// BudgetDeny refuses the release entirely.
+	BudgetDeny = account.Deny
+	// BudgetSuppress publishes a data-independent placeholder answer.
+	BudgetSuppress = account.Suppress
+	// BudgetThrottle halves the answer cadence near exhaustion, then denies.
+	BudgetThrottle = account.Throttle
+	// BudgetRotateEpoch forces a budget-epoch rotation with a fresh grant.
+	BudgetRotateEpoch = account.RotateEpoch
+)
+
+// BudgetSnapshot is a point-in-time view of the privacy-budget ledger,
+// reported as Stats.Budget.
+type BudgetSnapshot = account.Snapshot
+
+// QuerySpend is one query's attributed spend in a BudgetSnapshot.
+type QuerySpend = account.QuerySpend
 
 // BackpressurePolicy selects what Ingest does when a shard's bounded ingest
 // channel is full.
@@ -126,6 +151,22 @@ type Config struct {
 	ShardBuffer int
 	// SubscriberBuffer is each subscription's channel capacity. Default: 64.
 	SubscriberBuffer int
+	// Budget, when positive, enables privacy-budget accounting and
+	// admission control: every stream is granted Budget of pattern-level ε
+	// per budget epoch, every released window charges the mechanism's
+	// per-window ε (Mechanism.TotalEpsilon) against the stream's grant at
+	// publish time, and a release the grant cannot cover is handled by
+	// BudgetPolicy. Enforcement composes sequentially per stream with
+	// compensated sums — released answers provably never compose past the
+	// grant under BudgetDeny — and Stats.Budget reports the ledger,
+	// including the w-event composed per-event loss under sliding overlap.
+	// 0 (the default) disables accounting entirely: no ledger, no
+	// per-answer budget fields, exactly the pre-accounting behavior.
+	Budget dp.Epsilon
+	// BudgetPolicy selects the exhaustion behavior when Budget is set:
+	// BudgetDeny (default), BudgetSuppress, BudgetThrottle, or
+	// BudgetRotateEpoch. See the account package for the exact semantics.
+	BudgetPolicy BudgetPolicy
 	// NaiveSliding serves sliding windows by brute-force per-window
 	// re-buffering and re-evaluation instead of pane assembly: every event
 	// is copied into each of the WindowWidth/Slide windows covering it and
@@ -196,6 +237,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("runtime: ShardBuffer = %d", c.ShardBuffer)
 	case c.SubscriberBuffer < 0:
 		return fmt.Errorf("runtime: SubscriberBuffer = %d", c.SubscriberBuffer)
+	case !c.Budget.Valid():
+		return fmt.Errorf("runtime: invalid Budget %v", c.Budget)
+	case !c.BudgetPolicy.Valid():
+		return fmt.Errorf("runtime: unknown BudgetPolicy %d", c.BudgetPolicy)
 	}
 	for _, q := range c.Targets {
 		if err := q.Validate(); err != nil {
@@ -219,6 +264,11 @@ type Runtime struct {
 	bus    *bus
 	wg     sync.WaitGroup
 	start  time.Time
+
+	// ledger is the privacy-budget accounting subsystem; nil unless
+	// Config.Budget is set. Shards charge their single-writer sub-ledgers
+	// at answer-publish time, lock-free.
+	ledger *account.Ledger
 
 	// ctl is the current control-plane state; ctlMu serializes mutations
 	// (readers go straight to the atomic pointer).
@@ -255,19 +305,30 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	st := newControlState(cfg.Private, cfg.Targets)
 	rt.ctl.Store(st)
+	if cfg.Budget > 0 {
+		overlap := int(cfg.WindowWidth / cfg.slideOrWidth())
+		rt.ledger = account.NewLedger(cfg.Budget, cfg.BudgetPolicy, overlap, cfg.Shards)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		eng, err := rt.buildEngine(i, st)
 		if err != nil {
 			return nil, err
 		}
-		rt.shards = append(rt.shards, &shard{
+		sh := &shard{
 			id:      i,
 			rt:      rt,
 			engine:  eng,
 			cur:     st,
 			in:      make(chan ingestMsg, cfg.ShardBuffer),
 			streams: make(map[string]*streamState),
-		})
+		}
+		if rt.ledger != nil {
+			sh.led = rt.ledger.Shard(i)
+			sh.charge = float64(eng.Mechanism().TotalEpsilon())
+			sh.led.SetCharge(sh.charge)
+			sh.led.SetQueries(st.targetNames())
+		}
+		rt.shards = append(rt.shards, sh)
 	}
 	rt.wg.Add(len(rt.shards))
 	for _, sh := range rt.shards {
@@ -639,6 +700,10 @@ type Stats struct {
 	// Overlap is how many panes cover each served window: WindowWidth
 	// divided by the effective slide, 1 for tumbling configurations.
 	Overlap int
+	// Budget is the privacy-budget ledger snapshot: per-stream spend and
+	// w-event composed loss, admission-decision counters, and the
+	// per-query spend attribution. Nil unless Config.Budget is set.
+	Budget *BudgetSnapshot
 	// RunsDropped counts partial matches evicted by the current epoch's
 	// compiled sequence matchers under their maxRuns bound (see
 	// cep.WithMaxRuns) — the operator signal that matcher memory pressure
@@ -666,6 +731,9 @@ func (rt *Runtime) Snapshot() Stats {
 	}
 	for _, p := range ctl.plans {
 		st.RunsDropped += p.Dropped()
+	}
+	if rt.ledger != nil {
+		st.Budget = rt.ledger.Snapshot(uint64(ctl.budgetEpoch))
 	}
 	for i, sh := range rt.shards {
 		st.Shards[i] = ShardStats{

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"patterndp/internal/account"
 	"patterndp/internal/core"
 	"patterndp/internal/event"
 	"patterndp/internal/metrics"
@@ -52,6 +53,10 @@ type streamState struct {
 	next      int
 	lastSeen  int64
 	panesSeen int64
+	// bud is the stream's privacy-budget ledger, cached here so the
+	// publish path charges it without a registry lookup; nil when
+	// accounting is disabled.
+	bud *account.StreamLedger
 }
 
 // shard is one serving unit: a bounded ingest channel, its own PrivateEngine
@@ -71,6 +76,12 @@ type shard struct {
 	failed  atomic.Bool // set on the first serving error; checked by Ingest
 	err     error       // first serving error; read after rt.wg.Wait()
 
+	// led is the shard's single-writer budget sub-ledger and charge the
+	// current per-window release charge (the mechanism's pattern-level ε);
+	// led is nil when accounting is disabled.
+	led    *account.ShardLedger
+	charge float64
+
 	// Serving scratch, reused across pushes: the closed-window batch and
 	// the answer buffer of one emit. Only the slice headers are recycled —
 	// window contents and published answers are copied out before reuse.
@@ -78,6 +89,11 @@ type shard struct {
 	ansScratch []core.Answer
 	pubAns     []Answer
 	pubTargets []pubTarget
+	// admScratch and outScratch are the budgeted publish path's reusable
+	// buffers: the admitted sub-batch and the per-window admission
+	// outcomes of one emit.
+	admScratch []stream.Window
+	outScratch []account.Outcome
 	// lastKey/lastStream cache the most recent stream lookup: batches are
 	// usually runs of one stream, so consecutive events skip the map.
 	lastKey    string
@@ -104,8 +120,22 @@ func (s *shard) syncControl() bool {
 			return s.fail(err)
 		}
 		s.engine = eng
+		if s.led != nil {
+			// The rebuilt mechanism's pattern-level ε is the new
+			// per-window release charge.
+			s.charge = float64(eng.Mechanism().TotalEpsilon())
+			s.led.SetCharge(s.charge)
+		}
 	} else if err := s.engine.SetTargetPlans(st.plans); err != nil {
 		return s.fail(err)
+	}
+	if s.led != nil {
+		if st.budgetEpoch != s.cur.budgetEpoch {
+			// A budget rotation: archive the live per-query attribution;
+			// streams rotate their spend lazily at their next release.
+			s.led.Rotate()
+		}
+		s.led.SetQueries(st.targetNames())
 	}
 	s.cur = st
 	s.epoch.Store(uint64(st.epoch))
@@ -190,6 +220,9 @@ func (s *shard) serve(e event.Event) bool {
 		st = s.streams[key]
 		if st == nil {
 			st = &streamState{win: s.rt.cfg.newWindower()}
+			if s.led != nil {
+				st.bud = s.led.OpenStream(key, uint64(s.cur.budgetEpoch))
+			}
 			s.streams[key] = st
 			s.stats.streams.Inc()
 		}
@@ -230,6 +263,9 @@ func (s *shard) sweep(evict int64) bool {
 			return false
 		}
 		delete(s.streams, key)
+		if s.led != nil {
+			s.led.EvictStream(key)
+		}
 		s.stats.streamsEvicted.Inc()
 	}
 	// Evicted streams invalidate the lookup cache.
@@ -261,8 +297,16 @@ func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
 		st.panesSeen = panes
 	}
 	if len(s.cur.targets) == 0 {
+		if s.rt.ledger != nil {
+			// Queryless windows release nothing and spend nothing, but
+			// they still advance the stream's w-event composition ring.
+			s.rt.ledger.Skip(st.bud, len(ws))
+		}
 		st.next += len(ws)
 		return true
+	}
+	if s.led != nil {
+		return s.emitBudgeted(key, st, ws)
 	}
 	answers, err := s.engine.ProcessWindowsInto(s.ansScratch[:0], ws)
 	if err != nil {

@@ -60,6 +60,17 @@
 // re-scanning events per window (see the README's "Sliding windows"
 // section). Slide unset or equal to WindowWidth preserves tumbling behavior
 // exactly.
+//
+// Setting RuntimeConfig.Budget enables privacy-budget accounting and
+// admission control: every stream is granted Budget of pattern-level ε per
+// budget epoch, each released window charges the mechanism's per-window ε
+// against the stream's ledger at publish time (lock-free, compensated sums),
+// and a release the grant cannot cover is denied, suppressed, throttled, or
+// triggers an epoch rotation per RuntimeConfig.BudgetPolicy. Released
+// answers carry SpentEpsilon/RemainingEpsilon, RuntimeStats.Budget reports
+// the ledger (including the w-event composed per-event loss under sliding
+// overlap), and Runtime.RotateBudget rotates the grant explicitly — see the
+// README's "Privacy accounting" section.
 package patterndp
 
 import (
@@ -133,6 +144,16 @@ type (
 	Epoch = runtime.Epoch
 	// RuntimeStats is a point-in-time snapshot of a Runtime.
 	RuntimeStats = runtime.Stats
+	// BudgetPolicy selects what the runtime does when a stream's remaining
+	// privacy budget cannot cover a window release (see RuntimeConfig.Budget).
+	BudgetPolicy = runtime.BudgetPolicy
+	// BudgetSnapshot is the privacy-budget ledger's point-in-time view,
+	// reported as RuntimeStats.Budget: per-stream spend and w-event
+	// composed loss, admission-decision counters, and per-query spend
+	// attribution.
+	BudgetSnapshot = runtime.BudgetSnapshot
+	// QuerySpend is one query's attributed spend in a BudgetSnapshot.
+	QuerySpend = runtime.QuerySpend
 	// ShardStats are one shard's serving counters.
 	ShardStats = runtime.ShardStats
 	// Sharder routes stream keys to shards.
@@ -173,6 +194,15 @@ const (
 	PushAccepted = runtime.PushAccepted
 	PushLate     = runtime.PushLate
 	PushFuture   = runtime.PushFuture
+	// BudgetDeny refuses a release the stream's budget cannot cover;
+	// BudgetSuppress publishes a data-independent placeholder instead;
+	// BudgetThrottle halves the answer cadence near exhaustion, then
+	// denies; BudgetRotateEpoch forces a budget-epoch rotation with a
+	// fresh grant. See RuntimeConfig.Budget.
+	BudgetDeny        = runtime.BudgetDeny
+	BudgetSuppress    = runtime.BudgetSuppress
+	BudgetThrottle    = runtime.BudgetThrottle
+	BudgetRotateEpoch = runtime.BudgetRotateEpoch
 )
 
 // ErrRuntimeClosed is returned by Runtime.Ingest and Runtime.Close after the

@@ -268,6 +268,86 @@ func TestPublicRuntimeControlPlane(t *testing.T) {
 	}
 }
 
+// TestPublicRuntimeBudget exercises the privacy-accounting surface through
+// the facade: RuntimeConfig.Budget/BudgetPolicy, per-answer budget stamps,
+// RuntimeStats.Budget, and Runtime.RotateBudget.
+func TestPublicRuntimeBudget(t *testing.T) {
+	private, err := NewPatternType("p", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(RuntimeConfig{
+		Shards:      1,
+		WindowWidth: 10,
+		Mechanism: func(int) (Mechanism, error) {
+			return NewUniformPPM(1, private)
+		},
+		Private:      []PatternType{private},
+		Targets:      []Query{{Name: "q", Pattern: E("a"), Window: 10}},
+		Seed:         1,
+		Budget:       2, // two released windows per stream per epoch
+		BudgetPolicy: BudgetSuppress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rt.Subscribe("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []RuntimeAnswer
+	for w := 0; w < 5; w++ {
+		if err := rt.Ingest(NewEvent("a", Timestamp(w*10+1)).WithSource("s")); err != nil {
+			t.Fatal(err)
+		}
+		if w >= 1 {
+			got = append(got, <-sub.C())
+		}
+	}
+	if _, err := rt.RotateBudget(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Ingest(NewEvent("a", 51).WithSource("s")); err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, <-sub.C())
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for a := range sub.C() {
+		got = append(got, a)
+	}
+	var released, suppressed int
+	for _, a := range got {
+		if a.Suppressed {
+			suppressed++
+			continue
+		}
+		released++
+		if a.SpentEpsilon <= 0 || a.SpentEpsilon > 2 {
+			t.Errorf("answer window %d SpentEpsilon = %v", a.WindowIndex, a.SpentEpsilon)
+		}
+	}
+	// Two per epoch: windows 0-1 on the construction grant, then the
+	// rotation's fresh grant covers two more.
+	if released != 4 || suppressed != 2 {
+		t.Fatalf("released/suppressed = %d/%d, want 4/2", released, suppressed)
+	}
+	st := rt.Snapshot()
+	if st.Budget == nil {
+		t.Fatal("RuntimeStats.Budget nil with accounting on")
+	}
+	if st.Budget.Policy != BudgetSuppress || st.Budget.Grant != 2 || st.Budget.Charge != 1 {
+		t.Fatalf("budget snapshot %+v", st.Budget)
+	}
+	if st.Budget.Rotations != 1 {
+		t.Fatalf("Rotations = %d", st.Budget.Rotations)
+	}
+	if len(st.Budget.PerQuery) != 1 || st.Budget.PerQuery[0].Query != "q" {
+		t.Fatalf("PerQuery = %+v", st.Budget.PerQuery)
+	}
+}
+
 func TestPublicPlainEngine(t *testing.T) {
 	g := NewEngine()
 	if err := g.Register(Query{Name: "q", Pattern: E("a"), Window: 5}); err != nil {
