@@ -475,7 +475,12 @@ func hotPathQueries(selective bool, width event.Timestamp) []cep.Query {
 // budget enables privacy-budget accounting with an effectively unlimited
 // grant, so every window is admitted and the rows measure pure ledger
 // overhead on the publish path (which must stay 0 allocs/op).
-func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive, budget bool) {
+// fsync, when non-empty, enables the durable-state subsystem with that WAL
+// sync policy ("interval" | "always" | "off"): every served window's charge
+// record is then written ahead of its publish, so the wal= rows measure the
+// append-before-publish overhead against the wal-less rows (which must also
+// stay 0 allocs/op — the WAL stages into reused buffers).
+func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive, budget bool, fsync string) {
 	private, err := core.NewPatternType("p", "c0", "c1", "c2")
 	if err != nil {
 		b.Fatal(err)
@@ -504,6 +509,13 @@ func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive, bud
 	if budget {
 		cfg.Budget = dp.Epsilon(1e12)
 		cfg.BudgetPolicy = runtime.BudgetDeny
+	}
+	if fsync != "" {
+		fp, err := runtime.ParseFsyncPolicy(fsync)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Durability = &runtime.DurabilityConfig{Dir: b.TempDir(), Fsync: fp}
 	}
 	rt, err := runtime.New(cfg)
 	if err != nil {
@@ -562,7 +574,12 @@ func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive, bud
 // Compare the overlap>1 rows against BenchmarkServeWindowNaiveSliding for
 // the pane-sharing speedup, and the budget=on rows against budget=off for
 // the privacy-ledger overhead (accounting must keep the path 0 allocs/op).
-// CI records the results in BENCH_serve.json.
+// The wal= rows add the durable-state subsystem at each fsync policy on the
+// budgeted configuration — wal=off (a WAL that syncs only at checkpoints)
+// vs wal=interval (background sync cadence) vs wal=always (sync per
+// publish) — against the wal-less rows of the same shape for the
+// append-before-publish overhead. CI records the results in
+// BENCH_serve.json.
 func BenchmarkServeWindowHotPath(b *testing.B) {
 	for _, mode := range []string{"selective", "dense"} {
 		for _, shards := range []int{1, 4, 8} {
@@ -571,7 +588,20 @@ func BenchmarkServeWindowHotPath(b *testing.B) {
 					name := fmt.Sprintf("%s/shards=%d/overlap=%d/budget=%s",
 						mode, shards, overlap, map[bool]string{false: "off", true: "on"}[budget])
 					b.Run(name, func(b *testing.B) {
-						benchServeWindow(b, mode, shards, overlap, false, budget)
+						benchServeWindow(b, mode, shards, overlap, false, budget, "")
+					})
+				}
+			}
+		}
+		// The durability dimension, on the budgeted shape at the matrix
+		// corners (the wal-less rows above are the baseline).
+		for _, shards := range []int{1, 8} {
+			for _, overlap := range []int{1, 8} {
+				for _, fsync := range []string{"off", "interval", "always"} {
+					name := fmt.Sprintf("%s/shards=%d/overlap=%d/budget=on/wal=%s",
+						mode, shards, overlap, fsync)
+					b.Run(name, func(b *testing.B) {
+						benchServeWindow(b, mode, shards, overlap, false, true, fsync)
 					})
 				}
 			}
@@ -590,7 +620,7 @@ func BenchmarkServeWindowNaiveSliding(b *testing.B) {
 		for _, shards := range []int{1, 8} {
 			for _, overlap := range []int{4, 8} {
 				b.Run(fmt.Sprintf("%s/shards=%d/overlap=%d", mode, shards, overlap), func(b *testing.B) {
-					benchServeWindow(b, mode, shards, overlap, true, false)
+					benchServeWindow(b, mode, shards, overlap, true, false, "")
 				})
 			}
 		}

@@ -7,6 +7,7 @@
 //
 //	dpaudit -eps 1.0 -m 3 -trials 100000
 //	dpaudit -serve -eps 1.0 -budget 8 -trials 20000
+//	dpaudit -restart -eps 1.0 -budget 8
 //
 // With -serve it audits the streaming runtime's privacy-budget ledger
 // end-to-end: a budgeted serving run (sliding windows, Deny policy) produces
@@ -16,6 +17,16 @@
 // measured on the same mechanism must not exceed the ledger's declared
 // charge. The exit status is non-zero when the empirical measurement exceeds
 // the declared bound, so CI can run it as a smoke gate.
+//
+// With -restart it audits the ledger across restart boundaries (see README
+// "Durability"): a budgeted serving run writes a WAL, is abandoned without a
+// graceful close (a simulated kill — no final checkpoint, no drain), and the
+// recovered ledger's spend is held to the one-sided crash-safety invariant:
+// it must cover the spend of every answer that was published before the
+// kill (over-counting allowed, under-counting never). A second, graceful
+// restart then checks the exact boundary: a drained close loses nothing and
+// the rotated budget epoch is preserved. Non-zero exit on violation, for the
+// same CI audit job.
 package main
 
 import (
@@ -23,6 +34,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"patterndp/internal/cep"
 	"patterndp/internal/core"
@@ -37,14 +51,18 @@ func main() {
 		m      = flag.Int("m", 3, "private pattern length")
 		trials = flag.Int("trials", 100000, "samples per neighbor input")
 		seed   = flag.Int64("seed", 1, "audit seed")
-		serve  = flag.Bool("serve", false, "audit the serving ledger: run a budgeted serving pass and compare declared vs empirical ε")
-		budget = flag.Float64("budget", 0, "per-stream grant for -serve (default 8 x eps)")
+		serve   = flag.Bool("serve", false, "audit the serving ledger: run a budgeted serving pass and compare declared vs empirical ε")
+		restart = flag.Bool("restart", false, "audit the ledger across restart boundaries: kill + recover, hold recovered spend to published spend")
+		budget  = flag.Float64("budget", 0, "per-stream grant for -serve/-restart (default 8 x eps)")
 	)
 	flag.Parse()
 	var err error
-	if *serve {
+	switch {
+	case *restart:
+		err = runRestart(*eps, *m, *seed, *budget)
+	case *serve:
 		err = runServe(*eps, *m, *trials, *seed, *budget)
-	} else {
+	default:
 		err = run(*eps, *m, *trials, *seed)
 	}
 	if err != nil {
@@ -230,5 +248,176 @@ func runServe(eps float64, m, trials int, seed int64, budget float64) error {
 		return fail("empirical eps-hat %.4f exceeds declared charge %.4f + slack", v.FullPattern, float64(b.Charge))
 	}
 	fmt.Println("  verdict: PASS — empirical eps-hat within the ledger's declared bound")
+	return nil
+}
+
+// runRestart audits the ledger across restart boundaries. Phase 1 serves a
+// budgeted run against a WAL and abandons it without Close — the moral
+// equivalent of a kill: no final checkpoint, no drain, only what the
+// append-before-publish path already wrote. Recovery must then satisfy the
+// one-sided invariant: recovered spend >= the spend of every answer that was
+// published before the kill. Phase 2 closes gracefully after a budget
+// rotation and checks the exact boundary: nothing lost, epoch preserved.
+func runRestart(eps float64, m int, seed int64, budget float64) error {
+	if budget <= 0 {
+		budget = 8 * eps
+	}
+	pt, err := patternType(m)
+	if err != nil {
+		return err
+	}
+	walDir, err := os.MkdirTemp("", "dpaudit-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	const (
+		streams = 4
+		slide   = event.Timestamp(10)
+		overlap = 2
+		windows = 40
+	)
+	cfg := runtime.Config{
+		Shards:      2,
+		WindowWidth: slide * overlap,
+		Slide:       slide,
+		Mechanism: func(int) (core.Mechanism, error) {
+			return core.NewUniformPPM(dp.Epsilon(eps), pt)
+		},
+		Private:      []core.PatternType{pt},
+		Targets:      []cep.Query{{Name: "audit-q", Pattern: cep.E(pt.Elements[0]), Window: slide * overlap}},
+		Seed:         seed,
+		Budget:       dp.Epsilon(budget),
+		BudgetPolicy: runtime.BudgetDeny,
+		Durability:   &runtime.DurabilityConfig{Dir: walDir, Fsync: runtime.FsyncOff},
+	}
+	fail := func(format string, args ...any) error {
+		fmt.Printf("  verdict: FAIL — "+format+"\n", args...)
+		return fmt.Errorf("restart-boundary audit failed")
+	}
+	ledgerSpend := func(rt *runtime.Runtime) float64 {
+		b := rt.Snapshot().Budget
+		if b == nil {
+			return 0
+		}
+		return float64(b.Spent) + float64(b.Retired)
+	}
+
+	// Phase 1: serve, then abandon at the kill boundary. The subscriber
+	// records every published (stream, window) release; a window charged but
+	// never published may over-count on recovery — that is the allowed side.
+	rt1, err := runtime.New(cfg)
+	if err != nil {
+		return err
+	}
+	sub, err := rt1.Subscribe("audit-q")
+	if err != nil {
+		return err
+	}
+	type winKey struct {
+		stream string
+		window int
+	}
+	published := make(map[winKey]bool)
+	var pubMu sync.Mutex
+	var delivered atomic.Int64
+	go func() {
+		for a := range sub.C() {
+			delivered.Add(1)
+			if a.Suppressed {
+				continue
+			}
+			pubMu.Lock()
+			published[winKey{a.Stream, a.WindowIndex}] = true
+			pubMu.Unlock()
+		}
+	}()
+	var ingested int64
+	ingest := func(rt *runtime.Runtime, from, to event.Timestamp) error {
+		for s := 0; s < streams; s++ {
+			key := fmt.Sprintf("audit-%d", s)
+			for w := from; w < to; w++ {
+				for i, el := range pt.Elements {
+					e := event.New(el, w*slide+event.Timestamp(i)).WithSource(key)
+					if err := rt.Ingest(e); err != nil {
+						return err
+					}
+					ingested++
+				}
+			}
+		}
+		return nil
+	}
+	if err := ingest(rt1, 0, windows/2); err != nil {
+		return err
+	}
+	// Settle: Ingest only enqueues, so wait until the shards have processed
+	// every enqueued event and every emitted answer reached the subscriber —
+	// then the published set reflects everything that left the runtime.
+	// (Answers still unpublished at the kill only loosen the bound — the
+	// safe side of the invariant.)
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(time.Millisecond) {
+		tot := rt1.Snapshot().Totals()
+		if tot.EventsIn == ingested && delivered.Load() >= tot.AnswersEmitted {
+			break
+		}
+	}
+	pubMu.Lock()
+	publishedSpend := float64(len(published)) * eps
+	pubMu.Unlock()
+	// Kill: rt1 is abandoned, never closed. Every published answer's WAL
+	// record was committed (direct write) strictly before its publish.
+
+	rt2, err := runtime.New(cfg)
+	if err != nil {
+		return err
+	}
+	rec := rt2.Recovery()
+	if rec == nil {
+		return fail("no recovery from the killed run's WAL directory")
+	}
+	recovered := ledgerSpend(rt2)
+	fmt.Printf("kill boundary: %d published releases (%.4f eps) before the kill\n", len(published), publishedSpend)
+	fmt.Printf("recovered: %.4f eps from %d WAL records + checkpoint %d (%d streams)\n",
+		recovered, rec.ReplayedRecords, rec.CheckpointID, rec.Streams)
+	tol := dp.SpendTolerance(dp.Epsilon(budget)) + 1e-12
+	if recovered+tol < publishedSpend {
+		return fail("recovered spend %.6f under-counts published spend %.6f", recovered, publishedSpend)
+	}
+
+	// Phase 2: the graceful boundary. Rotate the budget epoch, serve the
+	// rest, drain through Close (final checkpoint), and recover again: the
+	// spend must carry over exactly and the rotated epoch must survive.
+	ep, err := rt2.RotateBudget()
+	if err != nil {
+		return err
+	}
+	if err := ingest(rt2, windows/2, windows); err != nil {
+		return err
+	}
+	if err := rt2.Close(); err != nil {
+		return err
+	}
+	preClose := ledgerSpend(rt2)
+
+	rt3, err := runtime.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt3.Close()
+	rec3 := rt3.Recovery()
+	if rec3 == nil || rec3.CheckpointID == 0 {
+		return fail("graceful close left no checkpoint to recover")
+	}
+	after := ledgerSpend(rt3)
+	fmt.Printf("graceful boundary: %.4f eps before close, %.4f recovered (budget epoch %d -> %d)\n",
+		preClose, after, ep, rt3.BudgetEpoch())
+	if math.Abs(after-preClose) > tol {
+		return fail("graceful restart changed the ledger: %.6f -> %.6f", preClose, after)
+	}
+	if rt3.BudgetEpoch() < ep {
+		return fail("rotated budget epoch %d lost across restart (recovered %d)", ep, rt3.BudgetEpoch())
+	}
+	fmt.Println("  verdict: PASS — recovered spend covers published spend across both boundaries")
 	return nil
 }

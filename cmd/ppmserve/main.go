@@ -12,6 +12,7 @@
 //	ppmserve -batch 256 -cpuprofile cpu.out -memprofile mem.out
 //	ppmserve -slide 25 -snap 2s
 //	ppmserve -budget 100 -budget-policy throttle
+//	ppmserve -budget 100 -wal-dir /var/lib/ppm/wal -fsync interval -checkpoint-every 5s
 //
 // With -slide less than the window width the runtime serves sliding windows
 // assembled from panes of the slide width (see README "Sliding windows");
@@ -25,9 +26,19 @@
 // -budget-policy (deny | suppress | throttle | rotate-epoch) selects the
 // exhaustion behavior. The final report then includes the ledger snapshot.
 //
+// With -wal-dir the runtime runs durably (see README "Durability"): every
+// released window's ledger charge is written ahead to a WAL in that directory
+// before the answer is published, -fsync (interval | always | off) selects
+// the sync policy, and -checkpoint-every snapshots windower and ledger state
+// on that cadence. Restarting against the same directory recovers: the start
+// banner then reports the restored checkpoint, the replayed WAL tail, and the
+// recovered privacy spend, and serving resumes from the restored budget
+// epoch.
+//
 // SIGINT/SIGTERM shut the server down gracefully: producers stop, in-flight
-// windows are drained and flushed through CloseContext, and the final report
-// (including the budget snapshot) is printed. A second signal aborts.
+// windows are drained and flushed through CloseContext — under -wal-dir the
+// drain also writes a final checkpoint — and the final report (including the
+// budget snapshot) is printed. A second signal aborts.
 //
 // The -cpuprofile/-memprofile flags write pprof profiles of the serving run,
 // so hot-path regressions can be diagnosed in the demo binary with
@@ -75,6 +86,9 @@ func main() {
 		snap      = flag.Duration("snap", 0, "print a periodic serving snapshot at this interval (0 = off)")
 		budget    = flag.Float64("budget", 0, "per-stream privacy-budget grant per epoch (0 = accounting off)")
 		budgetPol = flag.String("budget-policy", "deny", "budget exhaustion policy: deny | suppress | throttle | rotate-epoch")
+		walDir    = flag.String("wal-dir", "", "durable-state directory: WAL + checkpoints; recovers on start if non-empty (empty = durability off)")
+		fsync     = flag.String("fsync", "interval", "WAL sync policy under -wal-dir: interval | always | off")
+		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "background checkpoint cadence under -wal-dir (0 = only on drain)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -93,7 +107,7 @@ func main() {
 			}
 			defer pprof.StopCPUProfile()
 		}
-		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch, *slide, *naive, *snap, *budget, *budgetPol)
+		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch, *slide, *naive, *snap, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
 	}
 	if err := profiledRun(); err != nil {
 		fmt.Fprintln(os.Stderr, "ppmserve:", err)
@@ -114,7 +128,7 @@ func main() {
 	}
 }
 
-func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int, slide int64, naive bool, snap time.Duration, budget float64, budgetPol string) error {
+func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int, slide int64, naive bool, snap time.Duration, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
 	if batch < 1 {
 		return fmt.Errorf("batch size %d must be >= 1", batch)
 	}
@@ -166,9 +180,33 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 		cfg.AllowedLateness = event.Timestamp(lateness)
 	}
 	cfg.Horizon = event.Timestamp(horizon)
+	if walDir != "" {
+		fp, err := runtime.ParseFsyncPolicy(fsync)
+		if err != nil {
+			return err
+		}
+		cfg.Durability = &runtime.DurabilityConfig{
+			Dir:             walDir,
+			Fsync:           fp,
+			CheckpointEvery: ckptEvery,
+		}
+	}
 	rt, err := runtime.New(cfg)
 	if err != nil {
 		return err
+	}
+	if rec := rt.Recovery(); rec != nil {
+		// The recovery summary: where serving resumes from, how much of it
+		// came from WAL replay, and the spend delta the replay re-charged on
+		// top of the checkpoint.
+		fmt.Printf("recovered %s: checkpoint %d, budget epoch %d (control %d), %d streams\n",
+			walDir, rec.CheckpointID, rec.BudgetEpoch, rec.Epoch, rec.Streams)
+		fmt.Printf("recovered spend: %.4g restored + %.4g replayed from %d WAL records (%d registrations)\n",
+			float64(rec.RestoredSpend), float64(rec.ReplayedSpend), rec.ReplayedRecords, rec.Registrations)
+		if rec.Truncated || rec.SkippedCheckpoints > 0 {
+			fmt.Printf("recovered after crash: torn WAL tail ignored (%d corrupt checkpoints skipped)\n",
+				rec.SkippedCheckpoints)
+		}
 	}
 	if slide > 0 && event.Timestamp(slide) != scfg.WindowWidth {
 		mode := "pane-assembled"
@@ -385,6 +423,9 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 		for _, q := range b.PerQuery {
 			fmt.Printf("  query %-12s attributed eps %.4g\n", q.Query, float64(q.Eps))
 		}
+	}
+	if walDir != "" && closeErr == nil {
+		fmt.Printf("\ndurable state checkpointed to %s (fsync %s) — restart with the same -wal-dir to resume\n", walDir, fsync)
 	}
 	return closeErr
 }

@@ -36,7 +36,11 @@ func NewLedger(grant dp.Epsilon, policy Policy, overlap, shards int) *Ledger {
 	}
 	l := &Ledger{grant: grant, policy: policy, overlap: overlap, throttleAt: DefaultThrottleAt}
 	for i := 0; i < shards; i++ {
-		sh := &ShardLedger{streams: make(map[string]*StreamLedger), retired: make(map[string]float64)}
+		sh := &ShardLedger{
+			streams:        make(map[string]*StreamLedger),
+			retired:        make(map[string]float64),
+			retiredByEpoch: make(map[uint64]float64),
+		}
 		sh.queries.Store(&querySpend{})
 		l.shards = append(l.shards, sh)
 	}
@@ -58,6 +62,9 @@ func (l *Ledger) Shard(i int) *ShardLedger { return l.shards[i] }
 // CountRotation records one applied budget-epoch rotation (called by the
 // runtime when a RotateEpoch request actually bumps the epoch).
 func (l *Ledger) CountRotation() { l.rotations.Inc() }
+
+// Rotations returns the applied budget-epoch rotation count.
+func (l *Ledger) Rotations() int64 { return l.rotations.Load() }
 
 // querySpend is one epoch's per-query spend attribution: names are the
 // control state's target names in sorted order, cells the attributed ε.
@@ -81,9 +88,12 @@ type ShardLedger struct {
 	retired map[string]float64
 	// retiredSpent archives the stream spend of evicted streams and rotated
 	// epochs (single-writer cell; retiredSum is its writer-side
-	// compensation shadow).
-	retiredSpent epsCell
-	retiredSum   dp.Sum
+	// compensation shadow). retiredByEpoch breaks the same archive down by
+	// the budget epoch the spend was accumulated under (guarded by mu) —
+	// the per-epoch archive a restart restores and an auditor reads.
+	retiredSpent   epsCell
+	retiredSum     dp.Sum
+	retiredByEpoch map[uint64]float64
 
 	queries atomic.Pointer[querySpend]
 	charge  epsCell
@@ -183,6 +193,11 @@ func (sh *ShardLedger) EvictStream(key string) {
 	sh.mu.Lock()
 	sl := sh.streams[key]
 	delete(sh.streams, key)
+	if sl != nil {
+		if spend := sl.sum.Value(); spend != 0 {
+			sh.retiredByEpoch[sl.epoch.Load()] += spend
+		}
+	}
 	sh.mu.Unlock()
 	if sl != nil {
 		sh.retiredSum.Add(sl.sum.Value())
@@ -256,11 +271,17 @@ func (sl *StreamLedger) pushRing(overlap int, charge float64) {
 // can transiently miss the rotating spend but never count it twice.
 func (sh *ShardLedger) rotateStream(sl *StreamLedger, epoch uint64) {
 	spend := sl.sum.Value()
+	oldEpoch := sl.epoch.Load()
 	sl.sum = dp.Sum{}
 	sl.spent.store(0)
 	sl.epoch.Store(epoch)
 	sh.retiredSum.Add(spend)
 	sh.retiredSpent.store(sh.retiredSum.Value())
+	if spend != 0 {
+		sh.mu.Lock()
+		sh.retiredByEpoch[oldEpoch] += spend
+		sh.mu.Unlock()
+	}
 }
 
 // outcome builds the stamped budget position after a decision.
@@ -379,6 +400,12 @@ type Snapshot struct {
 	// Retired totals spend archived from evicted streams and rotated
 	// epochs; Spent+Retired is the lifetime total across the runtime.
 	Retired dp.Epsilon
+	// RetiredByEpoch breaks Retired down by the budget epoch the spend was
+	// accumulated under, sorted by epoch. (Spend of streams evicted while a
+	// lazy rotation was pending is archived under their last active epoch;
+	// unrotated live-stream spend counted into Retired by a racing Snapshot
+	// appears here only once the stream actually rotates.)
+	RetiredByEpoch []EpochSpend
 	// MaxStreamSpent is the largest live per-stream spend — the parallel
 	// composition bound actually guaranteed per data subject this epoch.
 	MaxStreamSpent dp.Epsilon
@@ -414,6 +441,7 @@ func (l *Ledger) Snapshot(epoch uint64) *Snapshot {
 	var spent, retired dp.Sum
 	perQ := make(map[string]float64)
 	retQ := make(map[string]float64)
+	retByEpoch := make(map[uint64]float64)
 	for _, sh := range l.shards {
 		if c := sh.charge.load(); c > float64(s.Charge) {
 			s.Charge = dp.Epsilon(c)
@@ -433,6 +461,9 @@ func (l *Ledger) Snapshot(epoch uint64) *Snapshot {
 		}
 		for name, v := range sh.retired {
 			retQ[name] += v
+		}
+		for ep, v := range sh.retiredByEpoch {
+			retByEpoch[ep] += v
 		}
 		for _, sl := range sh.streams {
 			s.Streams++
@@ -462,6 +493,12 @@ func (l *Ledger) Snapshot(epoch uint64) *Snapshot {
 	s.Retired = dp.Epsilon(retired.Value())
 	s.PerQuery = sortedSpend(perQ)
 	s.RetiredQueries = sortedSpend(retQ)
+	for ep, v := range retByEpoch {
+		s.RetiredByEpoch = append(s.RetiredByEpoch, EpochSpend{Epoch: ep, Spent: v})
+	}
+	sort.Slice(s.RetiredByEpoch, func(i, j int) bool {
+		return s.RetiredByEpoch[i].Epoch < s.RetiredByEpoch[j].Epoch
+	})
 	return s
 }
 

@@ -1,0 +1,289 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"patterndp/internal/account"
+	"patterndp/internal/event"
+	"patterndp/internal/stream"
+)
+
+// Checkpoint file layout:
+//
+//	magic "PPMCKPT\n" (8) | len u32 | crc u32 (CRC32-IEEE of payload) | payload
+//
+// where payload is the Checkpoint JSON. The file is written to a temp name,
+// fsynced, and renamed into place, so a crash mid-write leaves either the
+// previous checkpoint or a torn temp file — and an injected mid-checkpoint
+// crash deliberately tears a file under the *final* name, which the CRC
+// check must catch. JSON (not the WAL's binary framing) because checkpoints
+// are rare, off the hot path, and worth being greppable when debugging a
+// recovery.
+const ckptMagic = "PPMCKPT\n"
+
+// Checkpoint is a consistent snapshot of everything the WAL alone cannot
+// rebuild. Each shard exports at a quiescent point in its serve loop, so a
+// shard's ledger state, windower states, and WalLSN are mutually consistent:
+// every WAL record with LSN <= WalLSN is already reflected in the snapshot,
+// and every record past it must be replayed on top.
+type Checkpoint struct {
+	// ID orders checkpoints; recovery picks the highest valid one.
+	ID uint64 `json:"id"`
+	// CtlEpoch and BudgetEpoch are the control-plane and budget epochs at
+	// export.
+	CtlEpoch    uint64 `json:"ctl_epoch"`
+	BudgetEpoch uint64 `json:"budget_epoch"`
+	// ControlLSN is the control appender's consumed LSN: rotation and
+	// registration records past it are replayed.
+	ControlLSN uint64 `json:"control_lsn"`
+	// Rotations is the ledger's budget-rotation count.
+	Rotations uint64 `json:"rotations"`
+	// Shards holds one entry per serving shard.
+	Shards []ShardCheckpoint `json:"shards"`
+}
+
+// ShardCheckpoint is one shard's slice of the snapshot.
+type ShardCheckpoint struct {
+	// Shard is the exporting shard's index at snapshot time. Recovery does
+	// not require the restart to use the same shard count: streams are
+	// re-routed by the configured sharder and shard-level aggregates are
+	// folded into the new shard set.
+	Shard int `json:"shard"`
+	// WalLSN is the shard appender's committed LSN at export.
+	WalLSN uint64 `json:"wal_lsn"`
+	// Ledger is the shard sub-ledger's exported state.
+	Ledger account.ShardState `json:"ledger"`
+	// Streams holds the shard's live streams.
+	Streams []StreamCheckpoint `json:"streams"`
+}
+
+// StreamCheckpoint is one stream's serving state.
+type StreamCheckpoint struct {
+	// Key is the stream key.
+	Key string `json:"key"`
+	// Next is the stream's next window index (windows already published).
+	Next int `json:"next"`
+	// Budget is the stream's budget sub-ledger state (zero value when the
+	// runtime serves unbudgeted).
+	Budget account.StreamState `json:"budget"`
+	// Windower is the stream's windowing state.
+	Windower WindowerState `json:"windower"`
+}
+
+// WindowerState serializes a stream's Windower: watermark position, the
+// reorder buffer, and the pane tally ring. Pane tallies reuse
+// stream.TypeCounts' exported shape and pending events reuse the event JSON
+// codec, so both round-trip without a parallel serialization format.
+type WindowerState struct {
+	// Started reports whether the windower has seen any event.
+	Started bool `json:"started"`
+	// NextStart is the start of the next window to cut.
+	NextStart event.Timestamp `json:"next_start"`
+	// MaxTime is the high-watermark event time seen so far.
+	MaxTime event.Timestamp `json:"max_time"`
+	// Dropped counts events dropped as too-late or beyond-horizon.
+	Dropped int64 `json:"dropped"`
+	// Panes counts panes cut so far.
+	Panes int64 `json:"panes"`
+	// Pending is the reorder buffer: events at or past the watermark, not
+	// yet assigned to a pane.
+	Pending []event.Event `json:"pending,omitempty"`
+	// Ring is the pane tally ring, oldest pane first; its length is the
+	// window overlap (width/slide). Nil entries are empty panes.
+	Ring []stream.TypeCounts `json:"ring,omitempty"`
+}
+
+// WriteCheckpoint persists ck, assigns it the next checkpoint ID, and prunes
+// checkpoints and WAL segments it supersedes. The caller must pass a
+// snapshot exported at per-shard quiescent points (see Checkpoint).
+func (l *Log) WriteCheckpoint(ck *Checkpoint) error {
+	if l.crashed.Load() {
+		return ErrCrashed
+	}
+	// Make the WAL durable up to the LSNs the checkpoint claims to have
+	// consumed before the checkpoint can supersede (and prune) them.
+	if err := l.SyncAll(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Checkpoint IDs must stay monotonic in WAL coverage, not just in
+	// sequence: a snapshot exported before — but written after — a newer
+	// one would get the higher ID, recovery would prefer it, and the newer
+	// checkpoint's pruning could already have removed segments the stale
+	// one still needs. Skip the stale write instead; the newer checkpoint
+	// covers everything it held.
+	if l.consumed == nil {
+		l.consumed = make(map[int]uint64)
+	}
+	stale := ck.ControlLSN < l.consumed[ControlShard]
+	for _, sc := range ck.Shards {
+		if sc.WalLSN < l.consumed[sc.Shard] {
+			stale = true
+		}
+	}
+	if stale {
+		return nil
+	}
+	ck.ID = l.ckptSeq + 1
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("durable: marshal checkpoint: %w", err)
+	}
+	var hdr [16]byte
+	copy(hdr[:], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(payload))
+	final := filepath.Join(l.dir, fmt.Sprintf("ckpt-%016x.ckpt", ck.ID))
+
+	if CrashPoint(l.crashPoint.Load()) == CrashMidCheckpoint && l.crashLeft.Load() <= 0 {
+		// Injected crash mid-write: tear the file under the final name —
+		// the worst case recovery must handle (a plausible-looking
+		// checkpoint whose CRC doesn't verify).
+		torn := append(append([]byte{}, hdr[:]...), payload[:len(payload)/2]...)
+		os.WriteFile(final, torn, 0o644) //nolint:errcheck
+		l.crashed.Store(true)
+		return ErrCrashed
+	}
+
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: checkpoint: %w", err)
+	}
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("durable: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("durable: checkpoint: %w", err)
+	}
+	syncDir(l.dir)
+	l.ckptSeq = ck.ID
+	l.consumed[ControlShard] = ck.ControlLSN
+	for _, sc := range ck.Shards {
+		l.consumed[sc.Shard] = sc.WalLSN
+	}
+	l.pruneLocked(ck)
+	return nil
+}
+
+// pruneLocked removes checkpoints older than ck and WAL segments wholly
+// covered by it. A segment is covered when its successor segment exists (so
+// its last LSN is known) and that last LSN is at or below the checkpoint's
+// consumed LSN for its appender; segments of shards absent from the
+// checkpoint belong to a previous run's larger shard set and are covered by
+// any complete snapshot. Active (latest) segments are never pruned. Pruning
+// is best-effort: a leftover file costs disk, not correctness.
+func (l *Log) pruneLocked(ck *Checkpoint) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	consumed := map[int]uint64{ControlShard: ck.ControlLSN}
+	for _, sc := range ck.Shards {
+		consumed[sc.Shard] = sc.WalLSN
+	}
+	type seg struct {
+		name     string
+		firstLSN uint64
+	}
+	byShard := map[int][]seg{}
+	for _, e := range entries {
+		name := e.Name()
+		if shard, first, ok := parseSegmentName(name); ok {
+			byShard[shard] = append(byShard[shard], seg{name, first})
+			continue
+		}
+		if id, ok := parseCkptName(name); ok && id < ck.ID {
+			os.Remove(filepath.Join(l.dir, name)) //nolint:errcheck
+		}
+	}
+	for shard, segs := range byShard {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+		lsn, live := consumed[shard]
+		for i, s := range segs {
+			if i == len(segs)-1 {
+				break // never prune the active segment
+			}
+			lastLSN := segs[i+1].firstLSN - 1
+			if !live || lastLSN <= lsn {
+				os.Remove(filepath.Join(l.dir, s.name)) //nolint:errcheck
+			}
+		}
+	}
+}
+
+// readCheckpoint loads and validates one checkpoint file. A torn or
+// CRC-corrupt file returns an error so recovery falls back to the previous
+// checkpoint.
+func readCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 16 || string(data[:8]) != ckptMagic {
+		return nil, fmt.Errorf("durable: %s: not a checkpoint", filepath.Base(path))
+	}
+	length := binary.LittleEndian.Uint32(data[8:])
+	crc := binary.LittleEndian.Uint32(data[12:])
+	if int(length) != len(data)-16 {
+		return nil, fmt.Errorf("durable: %s: torn checkpoint", filepath.Base(path))
+	}
+	payload := data[16:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("durable: %s: checkpoint CRC mismatch", filepath.Base(path))
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return nil, fmt.Errorf("durable: %s: %w", filepath.Base(path), err)
+	}
+	return &ck, nil
+}
+
+func parseCkptName(name string) (uint64, bool) {
+	var id uint64
+	if _, err := fmt.Sscanf(name, "ckpt-%016x.ckpt", &id); err != nil {
+		return 0, false
+	}
+	if name != fmt.Sprintf("ckpt-%016x.ckpt", id) {
+		return 0, false // reject e.g. .tmp leftovers
+	}
+	return id, true
+}
+
+func parseSegmentName(name string) (shard int, firstLSN uint64, ok bool) {
+	if _, err := fmt.Sscanf(name, "wal-ctl-%016x.log", &firstLSN); err == nil &&
+		name == segmentName(ControlShard, firstLSN) {
+		return ControlShard, firstLSN, true
+	}
+	if _, err := fmt.Sscanf(name, "wal-s%04d-%016x.log", &shard, &firstLSN); err == nil &&
+		name == segmentName(shard, firstLSN) {
+		return shard, firstLSN, true
+	}
+	return 0, 0, false
+}
+
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()  //nolint:errcheck // best effort; rename durability
+	d.Close() //nolint:errcheck
+}

@@ -1,0 +1,179 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Recovery is what Open reconstructed from the WAL directory: the newest
+// valid checkpoint (nil if none) and the WAL tail past it, for the runtime
+// to replay on top of the restored state.
+type Recovery struct {
+	// Checkpoint is the newest checkpoint whose CRC verified, or nil.
+	Checkpoint *Checkpoint
+	// Tail holds shard records past the checkpoint's per-shard consumed
+	// LSNs, ordered by (shard, LSN). Records may carry shard indices from a
+	// previous run's different shard count; replay routes by stream key.
+	Tail []Record
+	// ControlTail holds control-appender records past ControlLSN, in LSN
+	// order.
+	ControlTail []Record
+	// Truncated reports that at least one segment ended in a torn or
+	// corrupted frame (the expected shape of a crash-cut tail) which was
+	// detected and ignored.
+	Truncated bool
+	// SkippedCheckpoints counts checkpoint files that failed validation
+	// (torn or CRC-corrupt) and were skipped in favor of an older one.
+	SkippedCheckpoints int
+}
+
+// MaxRotationEpoch returns the highest budget epoch among replayed rotation
+// records, or 0 if none — recovery resumes from max(checkpoint epoch, this).
+func (r *Recovery) MaxRotationEpoch() (budget, ctl uint64) {
+	for _, rec := range r.ControlTail {
+		if rec.Kind == KindRotation {
+			if rec.BudgetEpoch > budget {
+				budget = rec.BudgetEpoch
+			}
+			if rec.CtlEpoch > ctl {
+				ctl = rec.CtlEpoch
+			}
+		}
+	}
+	return budget, ctl
+}
+
+// Open opens (creating if needed) a WAL directory and recovers its state:
+// it selects the newest checkpoint that validates, collects the WAL tail
+// past it, and positions appenders to continue after the highest committed
+// LSNs. A restarted log never appends to a pre-crash segment — each appender
+// lazily starts a fresh segment on its first commit, so a torn pre-crash
+// tail is left behind for the reader to skip and the pruner to collect.
+//
+// The returned Log is ready for appends; Log.Recovery reports what was
+// recovered (nil for a fresh directory).
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+
+	var segPaths []string
+	var ckpts []struct {
+		id   uint64
+		path string
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if _, _, ok := parseSegmentName(name); ok {
+			segPaths = append(segPaths, filepath.Join(dir, name))
+		} else if id, ok := parseCkptName(name); ok {
+			ckpts = append(ckpts, struct {
+				id   uint64
+				path string
+			}{id, filepath.Join(dir, name)})
+		} else if filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(dir, name)) //nolint:errcheck // crash leftover
+		}
+	}
+
+	rec := &Recovery{}
+	var ck *Checkpoint
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i].id > ckpts[j].id })
+	maxCkptID := uint64(0)
+	for _, c := range ckpts {
+		if c.id > maxCkptID {
+			maxCkptID = c.id
+		}
+		if ck == nil {
+			loaded, err := readCheckpoint(c.path)
+			if err != nil {
+				rec.SkippedCheckpoints++
+				continue
+			}
+			ck = loaded
+		}
+	}
+	rec.Checkpoint = ck
+	consumed := map[int]uint64{}
+	if ck != nil {
+		consumed[ControlShard] = ck.ControlLSN
+		for _, sc := range ck.Shards {
+			consumed[sc.Shard] = sc.WalLSN
+		}
+	}
+
+	// Read every segment, collect tails past the consumed LSNs, and track
+	// each appender's highest committed LSN so new segments continue the
+	// sequence.
+	var segs []segmentData
+	for _, p := range segPaths {
+		sd, err := readSegment(p)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, sd)
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].shard != segs[j].shard {
+			return segs[i].shard < segs[j].shard
+		}
+		return segs[i].firstLSN < segs[j].firstLSN
+	})
+	maxLSN := map[int]uint64{}
+	for _, sd := range segs {
+		if sd.truncated {
+			rec.Truncated = true
+		}
+		last := sd.firstLSN - 1 + uint64(len(sd.records))
+		if last > maxLSN[sd.shard] {
+			maxLSN[sd.shard] = last
+		}
+		from := consumed[sd.shard]
+		for _, r := range sd.records {
+			if r.LSN <= from {
+				continue
+			}
+			if sd.shard == ControlShard {
+				rec.ControlTail = append(rec.ControlTail, r)
+			} else {
+				rec.Tail = append(rec.Tail, r)
+			}
+		}
+	}
+
+	empty := ck == nil && len(rec.Tail) == 0 && len(rec.ControlTail) == 0 &&
+		!rec.Truncated && rec.SkippedCheckpoints == 0
+
+	l := &Log{dir: dir, opts: opts, ckptSeq: maxCkptID}
+	if !empty {
+		l.recovery = rec
+	}
+	l.shards = make([]*Appender, opts.Shards)
+	for i := range l.shards {
+		l.shards[i] = &Appender{log: l, shard: i, lsn: startLSN(i, consumed, maxLSN)}
+	}
+	l.ctl = &Appender{log: l, shard: ControlShard, lsn: startLSN(ControlShard, consumed, maxLSN)}
+	l.startFlusher()
+	return l, nil
+}
+
+// startLSN picks where a restarted appender continues: past everything read
+// back from segments, and never below the checkpoint's consumed LSN (whose
+// segments may already be pruned).
+func startLSN(shard int, consumed, maxLSN map[int]uint64) uint64 {
+	lsn := maxLSN[shard]
+	if c := consumed[shard]; c > lsn {
+		lsn = c
+	}
+	return lsn
+}

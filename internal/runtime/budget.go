@@ -41,6 +41,13 @@ func (s *shard) emitBudgeted(key string, st *streamState, ws []stream.Window) bo
 			s.admScratch = append(s.admScratch, ws[i])
 			s.led.ChargeQueries(s.charge)
 		}
+		if s.wal != nil {
+			charge := 0.0
+			if out.Decision == account.Admitted {
+				charge = s.charge
+			}
+			s.wal.StageWindow(key, int64(st.next+i), int64(ws[i].Start), walDecision(out.Decision), charge, epoch)
+		}
 		s.outScratch = append(s.outScratch, out)
 	}
 	engAnswers := s.ansScratch[:0]
@@ -105,10 +112,11 @@ func (s *shard) emitBudgeted(key string, st *streamState, ws []stream.Window) bo
 			// indices stay aligned with time.
 		}
 	}
-	s.pubTargets = s.rt.bus.collect(s.pubTargets[:0], s.pubAns)
-	for _, t := range s.pubTargets {
-		t.sub.send(s.pubAns[t.idx])
-	}
+	// publish defers the answers past the message-level group commit when a
+	// WAL is attached: a crash before that commit publishes nothing, a crash
+	// after it over-counts (a charge whose answer never left) — both sides
+	// of the one-sided recovery invariant.
+	s.publish(s.pubAns)
 	s.stats.answersEmitted.Add(int64(len(s.pubAns)))
 	st.next += len(ws)
 	return true

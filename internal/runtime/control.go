@@ -7,6 +7,7 @@ import (
 
 	"patterndp/internal/cep"
 	"patterndp/internal/core"
+	"patterndp/internal/durable"
 )
 
 // Epoch numbers control-plane states. Every successful registration change
@@ -187,10 +188,16 @@ func (rt *Runtime) RegisterPrivate(pt core.PatternType) (Epoch, error) {
 	if err != nil {
 		return 0, err
 	}
-	return rt.mutate(func(_, st *controlState) error {
+	ep, err := rt.mutate(func(_, st *controlState) error {
 		st.setPrivate(valid)
 		return nil
 	})
+	if err == nil {
+		err = rt.logControl(func(a *durable.Appender) error {
+			return a.AppendRegistration(durable.OpRegisterPrivate, uint64(ep), valid.Name)
+		})
+	}
+	return ep, err
 }
 
 // UnregisterPrivate retires the private pattern type with pt's name. The
@@ -199,7 +206,7 @@ func (rt *Runtime) RegisterPrivate(pt core.PatternType) (Epoch, error) {
 // type's elements — over-protection is privacy-safe; with MechanismFor the
 // budget is re-split over the remaining set.
 func (rt *Runtime) UnregisterPrivate(pt core.PatternType) (Epoch, error) {
-	return rt.mutate(func(_, st *controlState) error {
+	ep, err := rt.mutate(func(_, st *controlState) error {
 		idx := -1
 		for i, p := range st.private {
 			if p.Name == pt.Name {
@@ -217,6 +224,12 @@ func (rt *Runtime) UnregisterPrivate(pt core.PatternType) (Epoch, error) {
 		st.privEpoch = st.epoch
 		return nil
 	})
+	if err == nil {
+		err = rt.logControl(func(a *durable.Appender) error {
+			return a.AppendRegistration(durable.OpUnregisterPrivate, uint64(ep), pt.Name)
+		})
+	}
+	return ep, err
 }
 
 // setPrivate adds or replaces one private type, keeping the slice sorted.
@@ -247,7 +260,7 @@ func (rt *Runtime) RegisterQuery(q cep.Query) (Epoch, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
-	return rt.mutate(func(prev, st *controlState) error {
+	ep, err := rt.mutate(func(prev, st *controlState) error {
 		if st.queries[q.Name] {
 			for i := range st.targets {
 				if st.targets[i].Name == q.Name {
@@ -264,6 +277,12 @@ func (rt *Runtime) RegisterQuery(q cep.Query) (Epoch, error) {
 		st.recompile(prev)
 		return nil
 	})
+	if err == nil {
+		err = rt.logControl(func(a *durable.Appender) error {
+			return a.AppendRegistration(durable.OpRegisterQuery, uint64(ep), q.Name)
+		})
+	}
+	return ep, err
 }
 
 // UnregisterQuery cancels the target query with q's name
@@ -271,7 +290,7 @@ func (rt *Runtime) RegisterQuery(q cep.Query) (Epoch, error) {
 // their next window boundary; existing subscriptions stay open and simply
 // receive nothing further for it.
 func (rt *Runtime) UnregisterQuery(q cep.Query) (Epoch, error) {
-	return rt.mutate(func(prev, st *controlState) error {
+	ep, err := rt.mutate(func(prev, st *controlState) error {
 		if !st.queries[q.Name] {
 			return fmt.Errorf("%w: %q", ErrUnknownQuery, q.Name)
 		}
@@ -285,6 +304,12 @@ func (rt *Runtime) UnregisterQuery(q cep.Query) (Epoch, error) {
 		st.recompile(prev)
 		return nil
 	})
+	if err == nil {
+		err = rt.logControl(func(a *durable.Appender) error {
+			return a.AppendRegistration(durable.OpUnregisterQuery, uint64(ep), q.Name)
+		})
+	}
+	return ep, err
 }
 
 // targetNames returns the state's target-query names (sorted, since targets
@@ -311,8 +336,15 @@ func (rt *Runtime) RotateBudget() (Epoch, error) {
 		next.budgetEpoch = next.epoch
 		return nil
 	})
-	if err == nil && rt.ledger != nil {
-		rt.ledger.CountRotation()
+	if err == nil {
+		if rt.ledger != nil {
+			rt.ledger.CountRotation()
+		}
+		// Rotation records make the budget epoch recoverable: without one, a
+		// restart would re-grant streams their spent budget.
+		err = rt.logControl(func(a *durable.Appender) error {
+			return a.AppendRotation(uint64(ep), uint64(ep))
+		})
 	}
 	return ep, err
 }
@@ -336,8 +368,13 @@ func (rt *Runtime) rotateBudgetFrom(observed Epoch) (Epoch, error) {
 	if errors.Is(err, errStaleRotation) {
 		return rt.ctl.Load().budgetEpoch, nil
 	}
-	if err == nil && rt.ledger != nil {
-		rt.ledger.CountRotation()
+	if err == nil {
+		if rt.ledger != nil {
+			rt.ledger.CountRotation()
+		}
+		err = rt.logControl(func(a *durable.Appender) error {
+			return a.AppendRotation(uint64(ep), uint64(ep))
+		})
 	}
 	return ep, err
 }

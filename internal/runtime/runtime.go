@@ -13,6 +13,7 @@ import (
 	"patterndp/internal/cep"
 	"patterndp/internal/core"
 	"patterndp/internal/dp"
+	"patterndp/internal/durable"
 	"patterndp/internal/event"
 	"patterndp/internal/metrics"
 )
@@ -175,6 +176,13 @@ type Config struct {
 	// BenchmarkServeWindowHotPath) and assumes in-order input; it has no
 	// effect on tumbling configurations.
 	NaiveSliding bool
+	// Durability, when set, enables the durable-state subsystem: ledger
+	// charges, rotations, and registration changes are written ahead of
+	// publishing, windower and ledger state is checkpointed, and New
+	// recovers both from a non-empty Durability.Dir — so privacy spend
+	// survives restarts. Nil (the default) keeps the runtime fully
+	// in-memory. See DurabilityConfig.
+	Durability *DurabilityConfig
 }
 
 // newWindower builds one stream's windower for the configuration.
@@ -242,6 +250,18 @@ func (c Config) validate() error {
 	case !c.BudgetPolicy.Valid():
 		return fmt.Errorf("runtime: unknown BudgetPolicy %d", c.BudgetPolicy)
 	}
+	if d := c.Durability; d != nil {
+		switch {
+		case d.Dir == "":
+			return fmt.Errorf("runtime: Durability.Dir is required")
+		case d.CheckpointEvery < 0:
+			return fmt.Errorf("runtime: Durability.CheckpointEvery = %v", d.CheckpointEvery)
+		case c.NaiveSliding:
+			// The naive baseline keeps raw per-window event buffers the
+			// checkpoint format deliberately does not serialize.
+			return fmt.Errorf("runtime: Durability is not supported with NaiveSliding")
+		}
+	}
 	for _, q := range c.Targets {
 		if err := q.Validate(); err != nil {
 			return fmt.Errorf("runtime: target query: %w", err)
@@ -275,6 +295,14 @@ type Runtime struct {
 	ctl   atomic.Pointer[controlState]
 	ctlMu sync.Mutex
 
+	// durLog is the durable-state subsystem's WAL and checkpoint store; nil
+	// unless Config.Durability is set. recov reports what New restored from
+	// it; ckptStop/ckptWG manage the background checkpoint loop.
+	durLog   *durable.Log
+	recov    *RecoverySummary
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
+
 	// batchPool recycles the per-shard sub-batches IngestBatch routes
 	// through the shard channels; shards return them after serving.
 	batchPool sync.Pool
@@ -298,12 +326,37 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{
-		cfg:   cfg,
-		bus:   newBus(cfg.SubscriberBuffer),
-		start: time.Now(),
-		done:  make(chan struct{}),
+		cfg:      cfg,
+		bus:      newBus(cfg.SubscriberBuffer),
+		start:    time.Now(),
+		done:     make(chan struct{}),
+		ckptStop: make(chan struct{}),
 	}
 	st := newControlState(cfg.Private, cfg.Targets)
+	var rec *durable.Recovery
+	if d := cfg.Durability; d != nil {
+		dlog, err := durable.Open(d.Dir, durable.Options{
+			Shards:        cfg.Shards,
+			Fsync:         d.Fsync,
+			FsyncInterval: d.FsyncInterval,
+			SegmentBytes:  d.SegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: durability: %w", err)
+		}
+		rt.durLog = dlog
+		if rec = dlog.Recovery(); rec != nil {
+			// Resume epoch numbering at or past the recovered epochs before
+			// anything reads the control state.
+			applyRecoveredEpochs(st, rec)
+		}
+	}
+	fail := func(err error) (*Runtime, error) {
+		if rt.durLog != nil {
+			rt.durLog.Close() //nolint:errcheck // construction already failed
+		}
+		return nil, err
+	}
 	rt.ctl.Store(st)
 	if cfg.Budget > 0 {
 		overlap := int(cfg.WindowWidth / cfg.slideOrWidth())
@@ -312,7 +365,7 @@ func New(cfg Config) (*Runtime, error) {
 	for i := 0; i < cfg.Shards; i++ {
 		eng, err := rt.buildEngine(i, st)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		sh := &shard{
 			id:      i,
@@ -322,17 +375,30 @@ func New(cfg Config) (*Runtime, error) {
 			in:      make(chan ingestMsg, cfg.ShardBuffer),
 			streams: make(map[string]*streamState),
 		}
+		sh.epoch.Store(uint64(st.epoch))
 		if rt.ledger != nil {
 			sh.led = rt.ledger.Shard(i)
 			sh.charge = float64(eng.Mechanism().TotalEpsilon())
 			sh.led.SetCharge(sh.charge)
 			sh.led.SetQueries(st.targetNames())
 		}
+		if rt.durLog != nil {
+			sh.wal = rt.durLog.Shard(i)
+		}
 		rt.shards = append(rt.shards, sh)
+	}
+	if rec != nil {
+		if err := rt.restore(rec); err != nil {
+			return fail(err)
+		}
 	}
 	rt.wg.Add(len(rt.shards))
 	for _, sh := range rt.shards {
 		go sh.run()
+	}
+	if d := cfg.Durability; d != nil && d.CheckpointEvery > 0 {
+		rt.ckptWG.Add(1)
+		go rt.checkpointLoop(d.CheckpointEvery)
 	}
 	return rt, nil
 }
@@ -504,6 +570,12 @@ func (rt *Runtime) send(ctx context.Context, sh *shard, msg ingestMsg) error {
 			}
 			select {
 			case old := <-sh.in:
+				if old.ckpt != nil {
+					// An evicted checkpoint request must still be answered:
+					// its caller is waiting on the (buffered) reply channel.
+					old.ckpt <- shardCkptResult{err: fmt.Errorf("runtime: shard %d: checkpoint evicted by backpressure", sh.id)}
+					continue
+				}
 				sh.stats.droppedIngest.Add(old.size())
 				if old.batch != nil {
 					rt.recycleBatch(old.batch)
@@ -615,14 +687,30 @@ func (rt *Runtime) CloseContext(ctx context.Context) error {
 		rt.mu.Lock()
 		rt.closed = true
 		rt.mu.Unlock()
+		close(rt.ckptStop)
 		for _, sh := range rt.shards {
 			close(sh.in)
 		}
 		rt.wg.Wait()
+		rt.ckptWG.Wait()
 		for _, sh := range rt.shards {
 			if sh.err != nil {
 				rt.closeErr = fmt.Errorf("runtime: shard %d: %w", sh.id, sh.err)
 				break
+			}
+		}
+		if rt.durLog != nil {
+			// Graceful drains end with a synchronous final checkpoint (the
+			// shard goroutines have exited, so the export sees the complete
+			// flushed state); a failed or crash-injected run skips it — its
+			// durable state is exactly what recovery should see.
+			if rt.closeErr == nil && !rt.durLog.Crashed() {
+				if err := rt.finalCheckpoint(); err != nil && err != durable.ErrCrashed {
+					rt.closeErr = fmt.Errorf("runtime: final checkpoint: %w", err)
+				}
+			}
+			if err := rt.durLog.Close(); err != nil && rt.closeErr == nil {
+				rt.closeErr = fmt.Errorf("runtime: wal close: %w", err)
 			}
 		}
 		rt.bus.close()

@@ -1,11 +1,13 @@
 package runtime
 
 import (
+	"fmt"
 	"sort"
 	"sync/atomic"
 
 	"patterndp/internal/account"
 	"patterndp/internal/core"
+	"patterndp/internal/durable"
 	"patterndp/internal/event"
 	"patterndp/internal/metrics"
 	"patterndp/internal/stream"
@@ -27,17 +29,23 @@ type shardStats struct {
 	streamsEvicted metrics.Counter
 }
 
-// ingestMsg is one shard channel message: either a single event (batch nil)
-// or a batch of events in stream order. Batches amortize the per-message
-// channel synchronization over many events; the single-event form keeps
-// Ingest allocation-free.
+// ingestMsg is one shard channel message: a single event (batch and ckpt
+// nil), a batch of events in stream order, or a checkpoint request. Batches
+// amortize the per-message channel synchronization over many events; the
+// single-event form keeps Ingest allocation-free. Checkpoint requests flow
+// through the same channel so the shard exports between batches — a point
+// where its ledger, windowers, and WAL position are mutually consistent.
 type ingestMsg struct {
 	ev    event.Event
 	batch []event.Event
+	ckpt  chan<- shardCkptResult
 }
 
 // size returns the number of events the message carries.
 func (m ingestMsg) size() int64 {
+	if m.ckpt != nil {
+		return 0
+	}
 	if m.batch != nil {
 		return int64(len(m.batch))
 	}
@@ -81,6 +89,14 @@ type shard struct {
 	// led is nil when accounting is disabled.
 	led    *account.ShardLedger
 	charge float64
+
+	// wal is the shard's single-writer WAL appender; nil when durability is
+	// disabled. Window and eviction records are staged while deciding and
+	// group-committed with one write per ingest message, strictly before the
+	// answers they cover are published (deferred in defAns until the commit)
+	// — the ordering the one-sided recovery invariant rests on.
+	wal    *durable.Appender
+	defAns []Answer
 
 	// Serving scratch, reused across pushes: the closed-window batch and
 	// the answer buffer of one emit. Only the slice headers are recycled —
@@ -160,6 +176,10 @@ func (s *shard) run() {
 	defer s.rt.wg.Done()
 	for msg := range s.in {
 		ok := true
+		if msg.ckpt != nil {
+			msg.ckpt <- shardCkptResult{sc: s.exportCheckpoint()}
+			continue
+		}
 		if msg.batch == nil {
 			s.stats.eventsIn.Inc()
 			ok = s.serve(msg.ev)
@@ -182,12 +202,21 @@ func (s *shard) run() {
 			}
 			s.rt.recycleBatch(msg.batch)
 		}
+		if ok {
+			// Group commit: one write covers every record staged while
+			// serving this message, then the deferred answers publish.
+			ok = s.flushWAL()
+		}
 		if !ok {
 			// Serving failed: keep draining so blocked producers and
 			// Close are not wedged on a full channel. The discarded
 			// events are counted, and Ingest starts rejecting new
 			// ones via the failed flag.
 			for msg := range s.in {
+				if msg.ckpt != nil {
+					msg.ckpt <- shardCkptResult{err: fmt.Errorf("runtime: shard %d: %w", s.id, ErrShardFailed)}
+					continue
+				}
 				s.stats.droppedFailed.Add(msg.size())
 				if msg.batch != nil {
 					s.rt.recycleBatch(msg.batch)
@@ -204,6 +233,9 @@ func (s *shard) run() {
 	for _, key := range keys {
 		st := s.streams[key]
 		if !s.emit(key, st, st.win.FlushInto(s.wsScratch[:0])) {
+			return
+		}
+		if !s.flushWAL() {
 			return
 		}
 	}
@@ -266,6 +298,12 @@ func (s *shard) sweep(evict int64) bool {
 		if s.led != nil {
 			s.led.EvictStream(key)
 		}
+		if s.wal != nil {
+			// Logged after the in-memory archive (committed with the
+			// message's group commit): a crash in between leaves the
+			// stream's spend live instead of retired, never lost.
+			s.wal.StageEvict(key)
+		}
 		s.stats.streamsEvicted.Inc()
 	}
 	// Evicted streams invalidate the lookup cache.
@@ -302,6 +340,9 @@ func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
 			// they still advance the stream's w-event composition ring.
 			s.rt.ledger.Skip(st.bud, len(ws))
 		}
+		// Skipped windows are still logged: replay must advance the
+		// stream's window index and ring past them.
+		s.logWindows(key, st, ws, durable.DecisionSkipped, 0)
 		st.next += len(ws)
 		return true
 	}
@@ -329,12 +370,68 @@ func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
 		}
 		s.pubAns = append(s.pubAns, Answer{Stream: key, Shard: s.id, Epoch: s.cur.epoch, Answer: a})
 	}
-	// One bus lookup for the whole batch; sends stay outside the bus lock.
-	s.pubTargets = s.rt.bus.collect(s.pubTargets[:0], s.pubAns)
-	for _, t := range s.pubTargets {
-		t.sub.send(s.pubAns[t.idx])
-	}
+	// Unbudgeted releases carry no ε charge, but the records must still hit
+	// the WAL before the bus sees the answers: replay advances window
+	// positions from them. publish defers the answers past the message-level
+	// group commit when a WAL is attached.
+	s.logWindows(key, st, ws, durable.DecisionAdmitted, 0)
+	s.publish(s.pubAns)
 	s.stats.answersEmitted.Add(int64(len(answers)))
 	st.next += len(ws)
+	return true
+}
+
+// logWindows stages one WAL record per window of an emit that decided them
+// all the same way (skipped or unbudgeted-admitted; the budgeted path stages
+// per decision in emitBudgeted). No-op without durability.
+func (s *shard) logWindows(key string, st *streamState, ws []stream.Window, dec durable.Decision, charge float64) {
+	if s.wal == nil {
+		return
+	}
+	for i := range ws {
+		s.wal.StageWindow(key, int64(st.next+i), int64(ws[i].Start), dec, charge, uint64(s.cur.budgetEpoch))
+	}
+}
+
+// publish hands one emit's answers to the bus — immediately when the shard
+// has no WAL, deferred into defAns until the message-level group commit
+// otherwise, so no answer ever precedes the WAL records that cover it. One
+// bus lookup per flush; sends stay outside the bus lock.
+func (s *shard) publish(ans []Answer) {
+	if len(ans) == 0 {
+		return
+	}
+	if s.wal != nil {
+		s.defAns = append(s.defAns, ans...)
+		return
+	}
+	s.pubTargets = s.rt.bus.collect(s.pubTargets[:0], ans)
+	for _, t := range s.pubTargets {
+		t.sub.send(ans[t.idx])
+	}
+}
+
+// flushWAL group-commits every record staged while serving the current
+// ingest message with one write, then publishes the deferred answers those
+// records cover — append-before-publish at one write(2) per message instead
+// of one per closed window. A commit error (including an injected crash)
+// fails the shard and drops the deferred answers, so nothing is published —
+// the one-sided recovery invariant: spend may be over-counted after a crash,
+// never under-counted.
+func (s *shard) flushWAL() bool {
+	if s.wal == nil {
+		return true
+	}
+	if err := s.wal.Commit(); err != nil {
+		s.defAns = s.defAns[:0]
+		return s.fail(err)
+	}
+	if len(s.defAns) > 0 {
+		s.pubTargets = s.rt.bus.collect(s.pubTargets[:0], s.defAns)
+		for _, t := range s.pubTargets {
+			t.sub.send(s.defAns[t.idx])
+		}
+		s.defAns = s.defAns[:0]
+	}
 	return true
 }

@@ -81,3 +81,20 @@ func (tc TypeCounts) CompactNZ(dst TypeCounts) TypeCounts {
 	}
 	return dst
 }
+
+// Clone returns an independent compacted copy of the tally (nil when it has
+// no non-zero entries) — the serialization form used when pane-ring tallies
+// are checkpointed and restored: zero entries exist only for in-ring
+// stability and carry no information, so they are not persisted.
+func (tc TypeCounts) Clone() TypeCounts {
+	n := 0
+	for _, c := range tc {
+		if c.N != 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	return tc.CompactNZ(make(TypeCounts, 0, n))
+}

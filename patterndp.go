@@ -71,6 +71,16 @@
 // the ledger (including the w-event composed per-event loss under sliding
 // overlap), and Runtime.RotateBudget rotates the grant explicitly — see the
 // README's "Privacy accounting" section.
+//
+// Setting RuntimeConfig.Durability makes that state durable: every ledger
+// charge, epoch rotation, and registration change is written ahead to a WAL
+// in DurabilityConfig.Dir strictly before the answer it covers is published,
+// and periodic checkpoints snapshot windower and ledger state. Restarting
+// against the same directory recovers — checkpoint plus WAL-tail replay —
+// under a one-sided invariant: a crash may over-count privacy spend (a
+// charge whose answer never left) but never under-counts it. See
+// Runtime.Recovery, Runtime.Checkpoint, and the README's "Durability"
+// section.
 package patterndp
 
 import (
@@ -177,6 +187,17 @@ type (
 	BackpressurePolicy = runtime.BackpressurePolicy
 	// PushResult reports what a Windower did with a pushed event.
 	PushResult = runtime.PushResult
+	// DurabilityConfig enables the durable-state subsystem (see
+	// RuntimeConfig.Durability): a write-ahead log of ledger charges, epoch
+	// rotations, and registration changes — appended before an answer is
+	// published — plus periodic checkpoints, so privacy spend survives
+	// restarts.
+	DurabilityConfig = runtime.DurabilityConfig
+	// FsyncPolicy selects when WAL appends are forced to stable storage.
+	FsyncPolicy = runtime.FsyncPolicy
+	// RecoverySummary reports what NewRuntime restored from a non-empty WAL
+	// directory (see Runtime.Recovery).
+	RecoverySummary = runtime.RecoverySummary
 )
 
 // Runtime policy constants, re-exported from internal/runtime.
@@ -203,6 +224,12 @@ const (
 	BudgetSuppress    = runtime.BudgetSuppress
 	BudgetThrottle    = runtime.BudgetThrottle
 	BudgetRotateEpoch = runtime.BudgetRotateEpoch
+	// FsyncInterval syncs the WAL on a background cadence (default),
+	// FsyncAlways before every publish, FsyncOff only at checkpoints and on
+	// Close. See DurabilityConfig.Fsync.
+	FsyncInterval = runtime.FsyncInterval
+	FsyncAlways   = runtime.FsyncAlways
+	FsyncOff      = runtime.FsyncOff
 )
 
 // ErrRuntimeClosed is returned by Runtime.Ingest and Runtime.Close after the
@@ -229,6 +256,10 @@ var ErrLastPrivate = runtime.ErrLastPrivate
 // was configured with only the static Mechanism factory; set
 // RuntimeConfig.MechanismFor to serve a dynamic private set.
 var ErrStaticMechanism = runtime.ErrStaticMechanism
+
+// ErrDurabilityDisabled is returned by Runtime.Checkpoint when the runtime
+// was built without RuntimeConfig.Durability.
+var ErrDurabilityDisabled = runtime.ErrDurabilityDisabled
 
 // ErrSubscriptionCancelled is reported by Subscription.Err after the
 // subscriber cancelled the subscription itself.
