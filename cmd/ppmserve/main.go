@@ -91,8 +91,18 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "background checkpoint cadence under -wal-dir (0 = only on drain)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+
+		listen       = flag.String("listen", "", "serve tenants over TCP on this address instead of replaying locally (e.g. :7070)")
+		connect      = flag.String("connect", "", "run as a tenant client against a -listen server at this address")
+		tenantName   = flag.String("tenant", "tenant-a", "tenant token presented by -connect")
+		maxStreams   = flag.Int("max-streams", 0, "per-tenant distinct-stream quota under -listen (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound under -listen: in-flight flush and session wind-down")
 	)
 	flag.Parse()
+	if *listen != "" && *connect != "" {
+		fmt.Fprintln(os.Stderr, "ppmserve: -listen and -connect are mutually exclusive")
+		os.Exit(1)
+	}
 	// profiledRun keeps the profile defers on a frame that returns before
 	// os.Exit, so a serving error still flushes a complete CPU profile.
 	profiledRun := func() error {
@@ -106,6 +116,12 @@ func main() {
 				return err
 			}
 			defer pprof.StopCPUProfile()
+		}
+		switch {
+		case *listen != "":
+			return runServer(*listen, *maxStreams, *drainTimeout, *shards, *eps, *seed, *buffer, *bp, *lateness, *horizon, *slide, *naive, *windows, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
+		case *connect != "":
+			return runClient(*connect, *tenantName, *streams, *windows, *batch, *seed)
 		}
 		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch, *slide, *naive, *snap, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
 	}
@@ -128,28 +144,20 @@ func main() {
 	}
 }
 
-func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int, slide int64, naive bool, snap time.Duration, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
-	if batch < 1 {
-		return fmt.Errorf("batch size %d must be >= 1", batch)
-	}
+// buildRuntime assembles the runtime configuration shared by the replay and
+// -listen modes: the synthetic dataset supplies the window width, private
+// types, and (shared) target queries; the flags supply everything else.
+func buildRuntime(shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) (*runtime.Runtime, *synth.Dataset, synth.Config, error) {
 	policy, err := account.ParsePolicy(budgetPol)
 	if err != nil {
-		return err
+		return nil, nil, synth.Config{}, err
 	}
-	// Graceful shutdown: the first SIGINT/SIGTERM cancels the producers so
-	// CloseContext can drain in-flight windows and the final report (with
-	// the budget snapshot) still prints; a second signal aborts.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	scfg := synth.DefaultConfig(seed)
 	scfg.NumWindows = windows
 	ds, err := synth.Generate(scfg)
 	if err != nil {
-		return err
+		return nil, nil, synth.Config{}, err
 	}
-	base := ds.Events()
-	private := ds.PrivateTypes()
-
 	cfg := runtime.Config{
 		Shards:       shards,
 		WindowWidth:  scfg.WindowWidth,
@@ -160,7 +168,7 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 		MechanismFor: func(_ int, private []core.PatternType) (core.Mechanism, error) {
 			return core.NewUniformPPM(dp.Epsilon(eps), private...)
 		},
-		Private:      private,
+		Private:      ds.PrivateTypes(),
 		Targets:      ds.TargetQueries(),
 		Seed:         seed,
 		ShardBuffer:  buffer,
@@ -173,7 +181,7 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	case "drop-oldest":
 		cfg.Backpressure = runtime.DropOldest
 	default:
-		return fmt.Errorf("unknown backpressure policy %q", bp)
+		return nil, nil, synth.Config{}, fmt.Errorf("unknown backpressure policy %q", bp)
 	}
 	if lateness > 0 {
 		cfg.Lateness = runtime.ReorderBuffer
@@ -183,7 +191,7 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	if walDir != "" {
 		fp, err := runtime.ParseFsyncPolicy(fsync)
 		if err != nil {
-			return err
+			return nil, nil, synth.Config{}, err
 		}
 		cfg.Durability = &runtime.DurabilityConfig{
 			Dir:             walDir,
@@ -193,7 +201,7 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	}
 	rt, err := runtime.New(cfg)
 	if err != nil {
-		return err
+		return nil, nil, synth.Config{}, err
 	}
 	if rec := rt.Recovery(); rec != nil {
 		// The recovery summary: where serving resumes from, how much of it
@@ -208,6 +216,24 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 				rec.SkippedCheckpoints)
 		}
 	}
+	return rt, ds, scfg, nil
+}
+
+func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int, slide int64, naive bool, snap time.Duration, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
+	if batch < 1 {
+		return fmt.Errorf("batch size %d must be >= 1", batch)
+	}
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the producers so
+	// CloseContext can drain in-flight windows and the final report (with
+	// the budget snapshot) still prints; a second signal aborts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt, ds, scfg, err := buildRuntime(shards, eps, seed, buffer, bp, lateness, horizon, slide, naive, windows, budget, budgetPol, walDir, fsync, ckptEvery)
+	if err != nil {
+		return err
+	}
+	base := ds.Events()
+	targets := ds.TargetQueries()
 	if slide > 0 && event.Timestamp(slide) != scfg.WindowWidth {
 		mode := "pane-assembled"
 		if naive {
@@ -250,9 +276,9 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	type tally struct {
 		answers, detected, suppressed int
 	}
-	tallies := make([]tally, len(cfg.Targets))
+	tallies := make([]tally, len(targets))
 	var consumers sync.WaitGroup
-	for qi, q := range cfg.Targets {
+	for qi, q := range targets {
 		// Subscribe before any producer starts so no answer is missed.
 		sub, err := rt.Subscribe(q.Name)
 		if err != nil {
@@ -401,7 +427,7 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	}
 
 	fmt.Println("\nper-query detection rates:")
-	for qi, q := range cfg.Targets {
+	for qi, q := range targets {
 		rate := 0.0
 		if tallies[qi].answers > 0 {
 			rate = float64(tallies[qi].detected) / float64(tallies[qi].answers)

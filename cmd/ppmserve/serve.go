@@ -1,0 +1,259 @@
+// Network serving modes: -listen exposes the runtime to remote tenants over
+// the wire protocol, -connect replays the synthetic feed as one such tenant.
+//
+//	ppmserve -listen :7070 -budget 100 -max-streams 64
+//	ppmserve -connect localhost:7070 -tenant alice -streams 8 -windows 200
+//
+// The server serves the dataset's target queries as shared queries every
+// tenant may subscribe to; tenants can additionally register their own
+// namespaced queries and private pattern types over the wire. SIGINT/SIGTERM
+// drain gracefully within -drain-timeout: listeners close, in-flight windows
+// flush through the WAL and final checkpoint, sessions wind down, and the
+// final report breaks serving and ε spend down per tenant.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"patterndp/internal/event"
+	"patterndp/internal/server"
+	"patterndp/internal/synth"
+)
+
+// runServer is the -listen mode: one shared runtime, many tenant
+// connections, graceful drain on the first signal.
+func runServer(addr string, maxStreams int, drainTimeout time.Duration, shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
+	rt, ds, scfg, err := buildRuntime(shards, eps, seed, buffer, bp, lateness, horizon, slide, naive, windows, budget, budgetPol, walDir, fsync, ckptEvery)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Runtime: rt,
+		Auth:    server.TokenAuth(maxStreams),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "server: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	shared := make([]string, 0, len(ds.TargetQueries()))
+	for _, q := range ds.TargetQueries() {
+		shared = append(shared, q.Name)
+	}
+	fmt.Printf("listening on %s: %d shards, window width %d, shared queries %v\n",
+		l.Addr(), shards, scfg.WindowWidth, shared)
+	if budget > 0 {
+		fmt.Printf("per-stream budget grant %g per epoch (policy %s), tenant stream quota %s\n",
+			budget, budgetPol, quotaString(maxStreams))
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, server.ErrServerClosed) {
+			rt.Close()
+			return err
+		}
+	}
+
+	fmt.Printf("\ndraining (timeout %v) — new ingest refused, sessions told goodbye\n", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	srv.Drain()
+	// CloseContext flushes in-flight windows through the WAL and cuts the
+	// final checkpoint; closing the answer bus also ends every session's
+	// delivery bridges.
+	closeErr := rt.CloseContext(drainCtx)
+	if waitErr := srv.Wait(drainCtx); waitErr != nil {
+		fmt.Fprintf(os.Stderr, "drain timeout: remaining sessions force-closed\n")
+	}
+
+	printTenantReport(srv, budget > 0)
+	if walDir != "" && closeErr == nil {
+		fmt.Printf("\ndurable state checkpointed to %s — restart with the same -wal-dir to resume\n", walDir)
+	}
+	return closeErr
+}
+
+func quotaString(n int) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d streams", n)
+}
+
+// printTenantReport is the final per-tenant breakdown: serving counters and,
+// under a budget, each tenant's live ε position.
+func printTenantReport(srv *server.Server, withBudget bool) {
+	st := srv.Stats()
+	fmt.Printf("\nserved %d connections (%d auth failures)\n", st.ConnsTotal, st.AuthFailures)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if withBudget {
+		fmt.Fprintln(tw, "tenant\tstreams\tevents\tanswers\tdropped\tspent eps\tmax stream\texhausted")
+	} else {
+		fmt.Fprintln(tw, "tenant\tstreams\tevents\tanswers\tdropped")
+	}
+	for _, ts := range st.Tenants {
+		if withBudget {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.4g\t%.4g\t%d/%d\n",
+				ts.Tenant, ts.Streams, ts.EventsIn, ts.AnswersSent, ts.AnswersDropped,
+				float64(ts.Spend.Spent), float64(ts.Spend.MaxStreamSpent),
+				ts.Spend.Exhausted, ts.Spend.Streams)
+		} else {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n",
+				ts.Tenant, ts.Streams, ts.EventsIn, ts.AnswersSent, ts.AnswersDropped)
+		}
+	}
+	tw.Flush()
+}
+
+// runClient is the -connect mode: replay the synthetic feed to a server as
+// one tenant, subscribed to every query visible to it, and report what came
+// back — including the budget position the answers carried.
+func runClient(addr, tenant string, streams, windows, batch int, seed int64) error {
+	if batch < 1 {
+		return fmt.Errorf("batch size %d must be >= 1", batch)
+	}
+	scfg := synth.DefaultConfig(seed)
+	scfg.NumWindows = windows
+	ds, err := synth.Generate(scfg)
+	if err != nil {
+		return err
+	}
+	base := ds.Events()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	c, err := server.Dial(conn, tenant)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	w := c.Welcome()
+	fmt.Printf("connected to %s as %q: %d shards, grant %g, shared queries %v\n",
+		addr, w.Tenant, w.Shards, w.Grant, w.Queries)
+
+	sub, err := c.Subscribe("", 1024)
+	if err != nil {
+		return err
+	}
+	// The consumer tallies per-query detections and tracks the budget
+	// position answers carry per stream.
+	type tally struct{ answers, detected, suppressed int }
+	tallies := make(map[string]*tally)
+	lastSpend := make(map[string]float64)
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range sub.C {
+			tl := tallies[a.Query]
+			if tl == nil {
+				tl = &tally{}
+				tallies[a.Query] = tl
+			}
+			tl.answers++
+			if a.Suppressed {
+				tl.suppressed++
+			} else if a.Detected {
+				tl.detected++
+			}
+			if a.SpentEpsilon > 0 {
+				lastSpend[a.Stream] = a.SpentEpsilon
+			}
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	sent := 0
+	buf := make([]event.Event, 0, batch)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := c.Ingest(buf); err != nil {
+			return err
+		}
+		sent += len(buf)
+		buf = buf[:0]
+		return nil
+	}
+feed:
+	for i := 0; i < streams; i++ {
+		key := fmt.Sprintf("stream-%03d", i)
+		for _, e := range base {
+			if ctx.Err() != nil {
+				break feed
+			}
+			buf = append(buf, e.WithSource(key))
+			if len(buf) == batch {
+				if err := flush(); err != nil {
+					return fmt.Errorf("after %d events: %w", sent, err)
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return fmt.Errorf("after %d events: %w", sent, err)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("ingested %d events in %v — %.0f events/s\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+
+	// Trailing windows stay open server-side until its drain; give in-flight
+	// answers a moment, then detach.
+	select {
+	case <-time.After(time.Second):
+	case <-ctx.Done():
+	case g := <-c.Goodbye:
+		fmt.Printf("server says goodbye: %s\n", g.Reason)
+	}
+	c.Unsubscribe(sub)
+	consumer.Wait()
+
+	fmt.Println("\nper-query answers:")
+	for q, tl := range tallies {
+		rate := 0.0
+		if tl.answers > 0 {
+			rate = float64(tl.detected) / float64(tl.answers)
+		}
+		if tl.suppressed > 0 {
+			fmt.Printf("  %-12s %6d answers, %5.1f%% detected, %d suppressed\n", q, tl.answers, 100*rate, tl.suppressed)
+		} else {
+			fmt.Printf("  %-12s %6d answers, %5.1f%% detected\n", q, tl.answers, 100*rate)
+		}
+	}
+	if len(lastSpend) > 0 {
+		var max float64
+		for _, sp := range lastSpend {
+			if sp > max {
+				max = sp
+			}
+		}
+		fmt.Printf("budget: answers carried spend for %d streams, max stream spend %.4g eps\n", len(lastSpend), max)
+	}
+	return nil
+}

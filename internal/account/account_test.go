@@ -29,6 +29,52 @@ func decideN(l *Ledger, sh *ShardLedger, sl *StreamLedger, n int, charge float64
 	return out
 }
 
+func TestSpendByNamespace(t *testing.T) {
+	l := NewLedger(10, Deny, 1, 2)
+	sh0, sh1 := l.Shard(0), l.Shard(1)
+	sh0.SetCharge(0.5)
+	sh1.SetCharge(0.5)
+	// Tenant a: two streams on different shards; tenant b: one stream; one
+	// delimiterless stream aggregates under "".
+	a1 := sh0.OpenStream("a/s1", 0)
+	a2 := sh1.OpenStream("a/s2", 0)
+	b1 := sh0.OpenStream("b/s1", 0)
+	bare := sh1.OpenStream("bare", 0)
+	decideN(l, sh0, a1, 3, 0.5, 0)    // 1.5
+	decideN(l, sh1, a2, 1, 0.5, 0)    // 0.5
+	decideN(l, sh0, b1, 2, 0.5, 0)    // 1.0
+	decideN(l, sh1, bare, 20, 0.5, 0) // exhausts at 10
+
+	got := l.SpendByNamespace('/')
+	if len(got) != 3 {
+		t.Fatalf("namespaces = %+v, want 3", got)
+	}
+	want := []struct {
+		ns      string
+		streams int
+		spent   float64
+		max     float64
+	}{
+		{"", 1, 10, 10},
+		{"a", 2, 2.0, 1.5},
+		{"b", 1, 1.0, 1.0},
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Namespace != w.ns || g.Streams != w.streams ||
+			math.Abs(float64(g.Spent)-w.spent) > 1e-9 ||
+			math.Abs(float64(g.MaxStreamSpent)-w.max) > 1e-9 {
+			t.Errorf("namespace %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if got[0].Exhausted != 1 {
+		t.Errorf("bare stream not reported exhausted: %+v", got[0])
+	}
+	if got[1].Exhausted != 0 || got[2].Exhausted != 0 {
+		t.Errorf("unexhausted tenants flagged: %+v", got[1:])
+	}
+}
+
 func TestDenyEnforcesGrantExactly(t *testing.T) {
 	l := NewLedger(1.0, Deny, 1, 1)
 	sh := l.Shard(0)

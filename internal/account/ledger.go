@@ -502,6 +502,68 @@ func (l *Ledger) Snapshot(epoch uint64) *Snapshot {
 	return s
 }
 
+// NamespaceSpend is one stream-key namespace's aggregated budget position —
+// the per-tenant view the network serving layer reports, with stream keys of
+// the form "tenant/stream".
+type NamespaceSpend struct {
+	// Namespace is the key prefix up to (not including) the delimiter;
+	// streams whose key has no delimiter aggregate under "".
+	Namespace string
+	// Streams counts the namespace's live stream ledgers.
+	Streams int
+	// Spent totals the namespace's live per-stream spend (parallel
+	// composition across the namespace's disjoint streams). Spend archived
+	// by eviction or budget-epoch rotation is keyless and not included.
+	Spent dp.Epsilon
+	// MaxStreamSpent is the namespace's largest live per-stream spend —
+	// its per-data-subject sequential bound this epoch.
+	MaxStreamSpent dp.Epsilon
+	// Exhausted counts live streams whose remaining grant no longer covers
+	// one release at the shard's current charge.
+	Exhausted int
+}
+
+// SpendByNamespace groups live per-stream spend by the stream-key prefix up
+// to the first delim, sorted by namespace. Safe to call at any time,
+// including while serving.
+func (l *Ledger) SpendByNamespace(delim byte) []NamespaceSpend {
+	agg := make(map[string]*NamespaceSpend)
+	for _, sh := range l.shards {
+		charge := sh.charge.load()
+		sh.mu.Lock()
+		for key, sl := range sh.streams {
+			ns := ""
+			for i := 0; i < len(key); i++ {
+				if key[i] == delim {
+					ns = key[:i]
+					break
+				}
+			}
+			a := agg[ns]
+			if a == nil {
+				a = &NamespaceSpend{Namespace: ns}
+				agg[ns] = a
+			}
+			a.Streams++
+			sp := sl.spent.load()
+			a.Spent += dp.Epsilon(sp)
+			if dp.Epsilon(sp) > a.MaxStreamSpent {
+				a.MaxStreamSpent = dp.Epsilon(sp)
+			}
+			if float64(l.grant)-sp < charge {
+				a.Exhausted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]NamespaceSpend, 0, len(agg))
+	for _, a := range agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Namespace < out[j].Namespace })
+	return out
+}
+
 func sortedSpend(m map[string]float64) []QuerySpend {
 	if len(m) == 0 {
 		return nil

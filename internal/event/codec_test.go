@@ -112,6 +112,114 @@ func TestReadJSONLinesBadLine(t *testing.T) {
 	}
 }
 
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := []Event{
+		fullEvent(),
+		New("a", 1),
+		New("b", -7).WithSource("s"),
+		New("c", 0).WithAttr("k", String("")),
+		New("d", 1<<40).WithWall(time.Unix(0, 1234567890)),
+	}
+	for _, in := range cases {
+		buf := AppendBinary(nil, in)
+		out, n, err := DecodeBinary(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", in, err)
+		}
+		if n != len(buf) {
+			t.Errorf("%v: consumed %d of %d bytes", in, n, len(buf))
+		}
+		if !in.Equal(out) {
+			t.Errorf("binary round trip lost data:\n in = %v\nout = %v", in, out)
+		}
+		if !in.Wall.IsZero() && !in.Wall.Equal(out.Wall) {
+			t.Errorf("%v: wall time lost: %v vs %v", in, in.Wall, out.Wall)
+		}
+	}
+}
+
+// TestBinaryJSONEquivalence is the codec equivalence gate: any event must
+// survive either encoding identically — JSON→binary→JSON and
+// binary→JSON→binary both end where they started.
+func TestBinaryJSONEquivalence(t *testing.T) {
+	cases := []Event{
+		fullEvent(),
+		New("a", 1),
+		New("jump", -99).WithSource("tenant-a/stream-1").WithAttr("n", Int(-5)),
+		New("w", 3).WithWall(time.Unix(77, 88).UTC()).WithAttr("f", Float(-0.25)).WithAttr("b", Bool(false)),
+	}
+	for _, in := range cases {
+		// Through JSON first.
+		js, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON Event
+		if err := json.Unmarshal(js, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		// Through binary first.
+		viaBinary, n, err := DecodeBinary(AppendBinary(nil, in))
+		if err != nil || n == 0 {
+			t.Fatalf("%v: binary decode: %v", in, err)
+		}
+		if !viaJSON.Equal(viaBinary) {
+			t.Errorf("codecs disagree:\n json   = %v\n binary = %v", viaJSON, viaBinary)
+		}
+		if !viaJSON.Wall.Equal(viaBinary.Wall) {
+			t.Errorf("codecs disagree on wall time: %v vs %v", viaJSON.Wall, viaBinary.Wall)
+		}
+		// And the binary form is deterministic: re-encoding the decoded
+		// event reproduces the same bytes (attributes encode sorted).
+		b1 := AppendBinary(nil, in)
+		b2 := AppendBinary(nil, viaBinary)
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("binary encoding not canonical:\n %x\n %x", b1, b2)
+		}
+	}
+}
+
+func TestBinaryBatch(t *testing.T) {
+	evs := []Event{fullEvent(), New("b", 2), New("c", 3).WithSource("s")}
+	buf := AppendBinaryBatch(nil, evs)
+	got, err := DecodeBinaryBatch(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if !evs[i].Equal(got[i]) {
+			t.Errorf("event %d differs", i)
+		}
+	}
+	// Trailing garbage after the batch must be rejected.
+	if _, err := DecodeBinaryBatch(nil, append(buf, 0xff)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// A count the payload cannot carry must be rejected before allocating.
+	if _, err := DecodeBinaryBatch(nil, []byte{0xff, 0xff, 0xff, 0xff, 0x07}); err == nil {
+		t.Error("oversized batch count accepted")
+	}
+}
+
+func TestDecodeBinaryRejectsBadInput(t *testing.T) {
+	good := AppendBinary(nil, fullEvent())
+	cases := [][]byte{
+		nil,
+		{0xf8},             // unknown flags
+		good[:1],           // flags only
+		good[:len(good)-2], // torn tail
+		{0x00, 0x00},       // empty type
+	}
+	for _, c := range cases {
+		if _, _, err := DecodeBinary(c); err == nil {
+			t.Errorf("input %x accepted", c)
+		}
+	}
+}
+
 func TestLineCodec(t *testing.T) {
 	in := New("fix", 7).WithSource("taxi-1")
 	line := in.MarshalLine()

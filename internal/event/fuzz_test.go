@@ -1,0 +1,70 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLine feeds arbitrary text to the line parser: it must never
+// panic, and every line it accepts must re-marshal to the same line — the
+// codec's canonical-form invariant.
+func FuzzParseLine(f *testing.F) {
+	f.Add("gps-fix\t42\ttaxi-7")
+	f.Add("a\t-1\t")
+	f.Add("a\t5\tsrc\textra")
+	f.Add("\t5\tsrc")
+	f.Add("a\tnot-a-number\tsrc")
+	f.Add(strings.Repeat("x", 1024) + "\t9\ts")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		if e.Type == "" {
+			t.Fatalf("line %q accepted with empty type", line)
+		}
+		again, err := ParseLine(e.MarshalLine())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", e.MarshalLine(), err)
+		}
+		if !e.Equal(again) {
+			t.Fatalf("line %q not canonical: %v vs %v", line, e, again)
+		}
+	})
+}
+
+// FuzzDecodeBinary feeds arbitrary bytes to the binary event decoder: it
+// must never panic or over-read, and every event it accepts must survive a
+// re-encode/re-decode round trip unchanged. (Byte-level canonicality is not
+// asserted: the decoder tolerates non-minimal varints and unsorted
+// attributes, which our encoder never emits.)
+func FuzzDecodeBinary(f *testing.F) {
+	f.Add(AppendBinary(nil, New("a", 1)))
+	f.Add(AppendBinary(nil, New("gps-fix", 42).WithSource("taxi-7").
+		WithAttr("x", Int(3)).WithAttr("s", String("v")).WithAttr("b", Bool(true))))
+	whole := AppendBinary(nil, New("torn", 9).WithAttr("f", Float(2.5)))
+	f.Add(whole[:len(whole)-1])
+	f.Add([]byte{0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		enc := AppendBinary(nil, e)
+		again, m, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %v failed: %v", e, err)
+		}
+		if m != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", m, len(enc))
+		}
+		if !e.Equal(again) || !e.Wall.Equal(again.Wall) {
+			t.Fatalf("round trip changed event: %v vs %v", e, again)
+		}
+	})
+}

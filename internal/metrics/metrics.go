@@ -155,6 +155,22 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is a race-free level indicator (live connections, open
+// subscriptions): a value that moves both ways, unlike Counter. The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc raises the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Rate converts a count observed over an elapsed duration into a per-second
 // rate. It returns 0 for non-positive durations.
 func Rate(n int64, elapsed time.Duration) float64 {

@@ -187,6 +187,18 @@ func (b *bus) subscribers(query string) int {
 	return len(b.subs[query])
 }
 
+// count totals the live subscriptions across every query, including the
+// subscribe-all set.
+func (b *bus) count() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := 0
+	for _, set := range b.subs {
+		n += len(set)
+	}
+	return n
+}
+
 // publish delivers an answer to the query's subscribers and to the
 // subscribe-all set. Sends happen outside the bus lock so a slow subscriber
 // stalls publishers but never blocks new subscriptions or cancellations.

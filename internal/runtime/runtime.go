@@ -636,6 +636,14 @@ func (rt *Runtime) Subscribe(query string) (*Subscription, error) {
 	return rt.bus.add(query), nil
 }
 
+// OpenSubscriptions counts the live subscriptions on the answer bus across
+// every query, including subscribe-all subscriptions. It exists so serving
+// layers can assert that detaching consumers (a closed network session, say)
+// released their handles rather than leaking them.
+func (rt *Runtime) OpenSubscriptions() int {
+	return rt.bus.count()
+}
+
 // SubscribeChan returns a bare answer channel for the named query.
 //
 // Deprecated: use Subscribe, which rejects unknown query names and returns a
@@ -841,6 +849,21 @@ func (rt *Runtime) Snapshot() Stats {
 		}
 	}
 	return st
+}
+
+// BudgetGrant returns the configured per-stream ε grant (Config.Budget),
+// zero when accounting is disabled. Serving layers advertise it to clients.
+func (rt *Runtime) BudgetGrant() dp.Epsilon { return rt.cfg.Budget }
+
+// SpendByNamespace groups live per-stream budget spend by the stream-key
+// prefix up to the first delim byte (see account.Ledger.SpendByNamespace) —
+// the per-tenant view when stream keys are namespaced "tenant/stream". Nil
+// unless Config.Budget enables accounting.
+func (rt *Runtime) SpendByNamespace(delim byte) []account.NamespaceSpend {
+	if rt.ledger == nil {
+		return nil
+	}
+	return rt.ledger.SpendByNamespace(delim)
 }
 
 // Totals aggregates the per-shard counters. Epoch is the minimum applied

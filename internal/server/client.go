@@ -1,0 +1,403 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"patterndp/internal/event"
+	"patterndp/internal/wire"
+)
+
+// Client is a tenant-side connection to a Server. Requests (Ingest,
+// Subscribe, registrations) are synchronous — each waits for its Ack or
+// Error — while answers stream asynchronously into per-subscription
+// channels. A Client is safe for concurrent use; requests from multiple
+// goroutines are serialized per id.
+type Client struct {
+	conn    net.Conn
+	welcome wire.Welcome
+
+	wmu sync.Mutex // serializes frame writes
+	req reqCounter
+
+	mu      sync.Mutex
+	pending map[uint64]chan result     // request id → reply slot
+	subs    map[uint64]*clientSubState // subscription id → delivery state
+	subID   uint64
+	err     error // terminal read-loop error
+	done    chan struct{}
+
+	// Goodbye receives the server's drain announcement, if any (buffered;
+	// at most one).
+	Goodbye chan wire.Goodbye
+}
+
+// result is one request's Ack or Error.
+type result struct {
+	ack  wire.Ack
+	werr *wire.Error
+}
+
+// clientSubState is one subscription's delivery state, closed exactly once
+// no matter who terminates it first (Unsubscribe, Close, or the read loop's
+// failure path). It mirrors the runtime bus's Subscription: done is closed
+// before the channel so a blocked delivery aborts instead of racing the
+// close, and sendMu serializes deliveries against the close itself.
+type clientSubState struct {
+	ch   chan wire.Answer
+	done chan struct{}
+	once sync.Once
+
+	sendMu sync.Mutex
+	mu     sync.Mutex
+	closed bool
+}
+
+// send delivers one answer, blocking while the buffer is full — an undrained
+// subscription deliberately stalls the client's read loop.
+func (s *clientSubState) send(a wire.Answer) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case s.ch <- a:
+	case <-s.done:
+	}
+}
+
+// terminate closes the subscription exactly once; buffered answers stay
+// drainable.
+func (s *clientSubState) terminate() {
+	s.once.Do(func() {
+		close(s.done)
+		s.sendMu.Lock()
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.ch)
+		s.sendMu.Unlock()
+	})
+}
+
+// RemoteError is a server-reported request failure.
+type RemoteError struct {
+	Code uint8
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server error %d: %s", e.Code, e.Msg)
+}
+
+// Dial performs the Hello → Welcome handshake over an established
+// connection. On success the Client owns conn.
+func Dial(conn net.Conn, token string) (*Client, error) {
+	h := wire.Hello{Proto: wire.Version, Token: token}
+	if err := wire.WriteFrame(conn, wire.THello, wire.AppendHello(nil, h)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := wire.NewReader(conn)
+	f, err := r.Next()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake: %w", err)
+	}
+	switch f.Type {
+	case wire.TWelcome:
+	case wire.TError:
+		we, derr := wire.DecodeError(f.Payload)
+		conn.Close()
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, &RemoteError{Code: we.Code, Msg: we.Msg}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake: unexpected frame %v", f.Type)
+	}
+	w, err := wire.DecodeWelcome(f.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		welcome: w,
+		pending: make(map[uint64]chan result),
+		subs:    make(map[uint64]*clientSubState),
+		done:    make(chan struct{}),
+		Goodbye: make(chan wire.Goodbye, 1),
+	}
+	go c.readLoop(r)
+	return c, nil
+}
+
+// Welcome returns the server's handshake reply (tenant id, shard count,
+// budget grant, shared query names).
+func (c *Client) Welcome() wire.Welcome { return c.welcome }
+
+// readLoop demultiplexes inbound frames: answers to their subscription
+// channels, acks and errors to their pending request slots.
+func (c *Client) readLoop(r *wire.Reader) {
+	var err error
+	defer func() { c.fail(err) }()
+	for {
+		var f wire.Frame
+		f, err = r.Next()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.TAnswer:
+			a, derr := wire.DecodeAnswer(f.Payload)
+			if derr != nil {
+				err = derr
+				return
+			}
+			c.mu.Lock()
+			st := c.subs[a.Sub]
+			c.mu.Unlock()
+			if st != nil {
+				// Blocking delivery is deliberate: an undrained
+				// subscription stalls this client's reads (and, via the
+				// transport, fills the server's outbound queue for this
+				// connection only).
+				st.send(a)
+			}
+		case wire.TAck:
+			a, derr := wire.DecodeAck(f.Payload)
+			if derr != nil {
+				err = derr
+				return
+			}
+			c.reply(a.Req, result{ack: a})
+		case wire.TSubscribed:
+			s, derr := wire.DecodeSubscribed(f.Payload)
+			if derr != nil {
+				err = derr
+				return
+			}
+			c.reply(s.Req, result{ack: wire.Ack{Req: s.Req, N: s.ID}})
+		case wire.TError:
+			e, derr := wire.DecodeError(f.Payload)
+			if derr != nil {
+				err = derr
+				return
+			}
+			if e.Req == 0 {
+				err = &RemoteError{Code: e.Code, Msg: e.Msg}
+				return
+			}
+			c.reply(e.Req, result{werr: &e})
+		case wire.TGoodbye:
+			g, derr := wire.DecodeGoodbye(f.Payload)
+			if derr != nil {
+				err = derr
+				return
+			}
+			select {
+			case c.Goodbye <- g:
+			default:
+			}
+		default:
+			err = fmt.Errorf("server: unexpected frame %v", f.Type)
+			return
+		}
+	}
+}
+
+func (c *Client) reply(req uint64, res result) {
+	c.mu.Lock()
+	ch := c.pending[req]
+	delete(c.pending, req)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- res
+	}
+}
+
+// fail terminates the client, releasing every pending request and closing
+// every subscription channel.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if err == nil {
+			err = errClientClosed
+		}
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan result)
+	subs := c.subs
+	c.subs = make(map[uint64]*clientSubState)
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+	for _, st := range subs {
+		st.terminate()
+	}
+}
+
+// Err returns the terminal connection error, nil while the client is live.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close sends a Goodbye and closes the connection.
+func (c *Client) Close() error {
+	c.wmu.Lock()
+	wire.WriteFrame(c.conn, wire.TGoodbye, wire.AppendGoodbye(nil, wire.Goodbye{Reason: "client done"}))
+	c.wmu.Unlock()
+	c.fail(errClientClosed)
+	return nil
+}
+
+// call sends one request frame (payload only; framing happens here) and
+// waits for its Ack or Error.
+func (c *Client) call(t wire.Type, req uint64, payload []byte) (wire.Ack, error) {
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return wire.Ack{}, err
+	}
+	c.pending[req] = ch
+	c.mu.Unlock()
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.conn, t, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req)
+		c.mu.Unlock()
+		return wire.Ack{}, err
+	}
+	res, ok := <-ch
+	if !ok {
+		return wire.Ack{}, c.Err()
+	}
+	if res.werr != nil {
+		return wire.Ack{}, &RemoteError{Code: res.werr.Code, Msg: res.werr.Msg}
+	}
+	return res.ack, nil
+}
+
+// Ingest sends a batch of events and waits for the server's Ack. Event
+// sources are tenant-relative stream keys; the server namespaces them.
+func (c *Client) Ingest(evs []event.Event) (int, error) {
+	req := c.req.next()
+	ack, err := c.call(wire.TIngest, req,
+		wire.AppendIngest(nil, wire.Ingest{Req: req, Events: evs}))
+	if err != nil {
+		return 0, err
+	}
+	return int(ack.N), nil
+}
+
+// ClientSub is a client-side subscription handle.
+type ClientSub struct {
+	// C streams the subscription's answers; it closes when the client
+	// closes or the subscription is cancelled. Drain it — an undrained
+	// subscription stalls the client's read loop.
+	C <-chan wire.Answer
+
+	id uint64
+	c  *Client
+}
+
+// ID returns the wire subscription id.
+func (s *ClientSub) ID() uint64 { return s.id }
+
+// Subscribe opens a streaming subscription for a query name ("" for every
+// query visible to the tenant). buf is the local answer buffer (default 64).
+func (c *Client) Subscribe(query string, buf int) (*ClientSub, error) {
+	if buf <= 0 {
+		buf = 64
+	}
+	st := &clientSubState{ch: make(chan wire.Answer, buf), done: make(chan struct{})}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.subID++
+	id := c.subID
+	c.subs[id] = st
+	c.mu.Unlock()
+
+	req := c.req.next()
+	_, err := c.call(wire.TSubscribe, req,
+		wire.AppendSubscribe(nil, wire.Subscribe{Req: req, ID: id, Query: query}))
+	if err != nil {
+		c.mu.Lock()
+		delete(c.subs, id)
+		c.mu.Unlock()
+		st.terminate()
+		return nil, err
+	}
+	return &ClientSub{C: st.ch, id: id, c: c}, nil
+}
+
+// Unsubscribe cancels a subscription server-side and closes its channel.
+func (c *Client) Unsubscribe(s *ClientSub) error {
+	// Terminate locally first: if the read loop is blocked delivering into
+	// this very subscription, that send must abort before the loop can
+	// surface the Unsubscribe ack the call below waits for.
+	c.mu.Lock()
+	st := c.subs[s.id]
+	delete(c.subs, s.id)
+	c.mu.Unlock()
+	if st != nil {
+		st.terminate()
+	}
+	req := c.req.next()
+	_, err := c.call(wire.TUnsubscribe, req,
+		wire.AppendUnsubscribe(nil, wire.Unsubscribe{Req: req, ID: s.id}))
+	return err
+}
+
+// RegisterQuery registers a pattern query under the tenant's namespace and
+// returns the control-plane epoch it took effect under.
+func (c *Client) RegisterQuery(name, pattern string, window int64) (uint64, error) {
+	req := c.req.next()
+	ack, err := c.call(wire.TRegisterQuery, req,
+		wire.AppendRegisterQuery(nil, wire.RegisterQuery{Req: req, Name: name, Pattern: pattern, Window: window}))
+	if err != nil {
+		return 0, err
+	}
+	return ack.N, nil
+}
+
+// RegisterPrivate registers a private pattern type under the tenant's
+// namespace and returns the control-plane epoch it took effect under.
+func (c *Client) RegisterPrivate(name string, elements []string) (uint64, error) {
+	req := c.req.next()
+	ack, err := c.call(wire.TRegisterPrivate, req,
+		wire.AppendRegisterPrivate(nil, wire.RegisterPrivate{Req: req, Name: name, Elements: elements}))
+	if err != nil {
+		return 0, err
+	}
+	return ack.N, nil
+}
+
+// errClientClosed is reported for requests issued after Close.
+var errClientClosed = errors.New("server: client closed")

@@ -1,0 +1,380 @@
+// Package server is the network serving layer: it exposes a runtime.Runtime
+// to remote tenants over the wire protocol (package wire), multiplexing many
+// tenant connections onto one shared serving runtime.
+//
+// Isolation is by namespacing, not by partitioning: every stream key and
+// every tenant-registered query name is prefixed "tenant/" before it reaches
+// the runtime, so two tenants ingesting a stream "s1" land on the distinct
+// keys "a/s1" and "b/s1" — distinct windowers, distinct budget sub-ledgers,
+// distinct answer feeds. Answer delivery applies the inverse: a session only
+// forwards answers whose stream key carries its tenant's prefix, and strips
+// the prefix before the wire, so no tenant ever observes another tenant's
+// stream keys or answers. Per-tenant ε spend falls out of the same prefixes
+// via Runtime.SpendByNamespace.
+//
+// Backpressure is per connection. Each session owns a bounded outbound
+// answer queue drained by a single writer goroutine; bridge goroutines
+// moving answers from runtime subscriptions into that queue never block — an
+// answer that finds the queue full is dropped and counted against the
+// session. A slow or stalled subscriber therefore costs itself answers but
+// never stalls the runtime's publish path or any other tenant's delivery.
+// Control replies (acks, errors) are never dropped: they are written from
+// the session's request loop, which blocks — and thereby backpressures — only
+// the connection that issued the request.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"patterndp/internal/account"
+	"patterndp/internal/metrics"
+	"patterndp/internal/runtime"
+)
+
+// Tenant is an authenticated principal.
+type Tenant struct {
+	// ID is the namespace prefix for the tenant's streams and queries. It
+	// must be non-empty and must not contain '/' (the namespace delimiter).
+	ID string
+	// MaxStreams caps how many distinct stream keys the tenant may ingest
+	// across all its connections; 0 is unlimited. The cap bounds the
+	// tenant's total budget surface (each stream carries its own grant).
+	MaxStreams int
+}
+
+// AuthFunc maps a Hello token to a Tenant. Returning an error rejects the
+// connection with CodeAuth; the error text is sent to the client.
+type AuthFunc func(token string) (Tenant, error)
+
+// TokenAuth is the trivial AuthFunc: the token is the tenant id, any
+// non-empty delimiter-free token is accepted, and maxStreams applies to
+// every tenant uniformly.
+func TokenAuth(maxStreams int) AuthFunc {
+	return func(token string) (Tenant, error) {
+		if token == "" || strings.ContainsRune(token, '/') {
+			return Tenant{}, fmt.Errorf("invalid tenant token %q", token)
+		}
+		return Tenant{ID: token, MaxStreams: maxStreams}, nil
+	}
+}
+
+// Config configures a Server.
+type Config struct {
+	// Runtime is the shared serving runtime. Required. The server does not
+	// own it: the caller closes it (after Drain) during shutdown.
+	Runtime *runtime.Runtime
+	// Auth authenticates Hello tokens. Required.
+	Auth AuthFunc
+	// OutboundQueue is each session's answer-queue capacity; answers beyond
+	// it are dropped (and counted) rather than stalling delivery to other
+	// sessions. Default: 256.
+	OutboundQueue int
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server accepts tenant connections and serves them from one runtime.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	sessions  map[*session]struct{}
+	tenants   map[string]*tenantState
+	draining  bool
+	closed    bool
+
+	wg sync.WaitGroup
+
+	connsOpen    metrics.Gauge
+	connsTotal   metrics.Counter
+	authFailures metrics.Counter
+}
+
+// tenantState is the server-wide per-tenant aggregate, shared by all of the
+// tenant's sessions.
+type tenantState struct {
+	tenant Tenant
+
+	mu      sync.Mutex
+	streams map[string]struct{} // distinct namespaced stream keys ingested
+
+	sessions       metrics.Gauge
+	eventsIn       metrics.Counter
+	answersSent    metrics.Counter
+	answersDropped metrics.Counter
+}
+
+// admitStreams checks the tenant's stream cap against a batch's distinct
+// stream keys (already namespaced) and records them if admitted.
+func (ts *tenantState) admitStreams(keys map[string]struct{}) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if max := ts.tenant.MaxStreams; max > 0 {
+		fresh := 0
+		for k := range keys {
+			if _, ok := ts.streams[k]; !ok {
+				fresh++
+			}
+		}
+		if len(ts.streams)+fresh > max {
+			return fmt.Errorf("stream cap %d reached", max)
+		}
+	}
+	for k := range keys {
+		ts.streams[k] = struct{}{}
+	}
+	return nil
+}
+
+// New builds a Server. The runtime must already be serving.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, errors.New("server: Config.Runtime is required")
+	}
+	if cfg.Auth == nil {
+		return nil, errors.New("server: Config.Auth is required")
+	}
+	if cfg.OutboundQueue == 0 {
+		cfg.OutboundQueue = 256
+	}
+	return &Server{
+		cfg:       cfg,
+		listeners: make(map[net.Listener]struct{}),
+		sessions:  make(map[*session]struct{}),
+		tenants:   make(map[string]*tenantState),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ErrServerClosed is returned by Serve after Drain or Close stopped the
+// accept loop.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections from l until Drain or Close. It always closes l
+// before returning. Serve may be called concurrently on several listeners
+// (a TCP listener and an in-memory one, say).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		l.Close()
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopped := s.draining || s.closed
+			s.mu.Unlock()
+			if stopped {
+				return ErrServerClosed
+			}
+			return err
+		}
+		ss := newSession(s, conn)
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.sessions[ss] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.connsOpen.Inc()
+		s.connsTotal.Inc()
+		go func() {
+			defer s.wg.Done()
+			defer s.connsOpen.Dec()
+			ss.run()
+			s.mu.Lock()
+			delete(s.sessions, ss)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// tenantFor returns (creating on first use) the server-wide state for a
+// tenant.
+func (s *Server) tenantFor(t Tenant) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tenants[t.ID]
+	if ts == nil {
+		ts = &tenantState{tenant: t, streams: make(map[string]struct{})}
+		s.tenants[t.ID] = ts
+	}
+	return ts
+}
+
+// Drain begins a graceful shutdown: every listener stops accepting, new
+// ingest and registration requests are rejected with CodeDraining, and every
+// live session is sent a Goodbye so clients finish draining their answer
+// subscriptions and disconnect. Drain is idempotent and returns immediately;
+// follow it with Runtime.CloseContext (flushing in-flight windows through
+// the WAL and cutting the final checkpoint, which also ends every answer
+// bridge) and then Wait.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, ss := range sessions {
+		ss.goodbye("drain")
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Wait blocks until every session has closed, or until ctx expires — in
+// which case remaining connections are force-closed before returning the
+// context's error.
+func (s *Server) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.Close()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-closes every listener and live connection. Prefer
+// Drain/Wait; Close is the hard stop.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, ss := range sessions {
+		ss.close()
+	}
+}
+
+// TenantStats is one tenant's serving aggregate.
+type TenantStats struct {
+	// Tenant is the tenant id.
+	Tenant string
+	// Sessions is the tenant's live connection count.
+	Sessions int64
+	// Streams counts the distinct stream keys the tenant has ingested.
+	Streams int
+	// EventsIn counts events accepted from the tenant's Ingest requests.
+	EventsIn int64
+	// AnswersSent counts answer frames delivered to the tenant.
+	AnswersSent int64
+	// AnswersDropped counts answers dropped by outbound backpressure.
+	AnswersDropped int64
+	// Spend is the tenant's live budget position (zero value when the
+	// runtime serves without accounting or the tenant has no live streams).
+	Spend account.NamespaceSpend
+}
+
+// Stats is a point-in-time snapshot of the serving layer.
+type Stats struct {
+	// ConnsOpen and ConnsTotal count live and lifetime-accepted
+	// connections.
+	ConnsOpen, ConnsTotal int64
+	// AuthFailures counts rejected Hello frames.
+	AuthFailures int64
+	// Tenants holds one entry per tenant seen, sorted by id.
+	Tenants []TenantStats
+}
+
+// Stats snapshots the serving layer, joining connection counters with the
+// runtime ledger's per-namespace spend.
+func (s *Server) Stats() Stats {
+	spend := make(map[string]account.NamespaceSpend)
+	for _, ns := range s.cfg.Runtime.SpendByNamespace(namespaceDelim) {
+		spend[ns.Namespace] = ns
+	}
+	st := Stats{
+		ConnsOpen:    s.connsOpen.Load(),
+		ConnsTotal:   s.connsTotal.Load(),
+		AuthFailures: s.authFailures.Load(),
+	}
+	s.mu.Lock()
+	for id, ts := range s.tenants {
+		ts.mu.Lock()
+		streams := len(ts.streams)
+		ts.mu.Unlock()
+		st.Tenants = append(st.Tenants, TenantStats{
+			Tenant:         id,
+			Sessions:       ts.sessions.Load(),
+			Streams:        streams,
+			EventsIn:       ts.eventsIn.Load(),
+			AnswersSent:    ts.answersSent.Load(),
+			AnswersDropped: ts.answersDropped.Load(),
+			Spend:          spend[id],
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Tenant < st.Tenants[j].Tenant })
+	return st
+}
+
+// namespaceDelim separates the tenant prefix from tenant-relative names in
+// stream keys and query names.
+const namespaceDelim = '/'
+
+// reqCounter hands out client-visible request ids on the client side.
+type reqCounter struct{ v atomic.Uint64 }
+
+func (c *reqCounter) next() uint64 { return c.v.Add(1) }

@@ -1,0 +1,405 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/core"
+	"patterndp/internal/dp"
+	"patterndp/internal/event"
+	"patterndp/internal/runtime"
+	"patterndp/internal/wire"
+)
+
+// newTestRuntime builds a small serving runtime: two shards, tumbling
+// windows of width 10, one private type seq(a, b), one shared query "probe"
+// detecting it, and optionally a per-stream budget grant.
+func newTestRuntime(t testing.TB, budget float64) *runtime.Runtime {
+	t.Helper()
+	pt, err := core.NewPatternType("secret", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cep.ParseQuery("probe", "SEQ(a, b) WITHIN 10", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := runtime.New(runtime.Config{
+		Shards:      2,
+		WindowWidth: 10,
+		MechanismFor: func(_ int, private []core.PatternType) (core.Mechanism, error) {
+			return core.NewUniformPPM(dp.Epsilon(4), private...)
+		},
+		Private: []core.PatternType{pt},
+		Targets: []cep.Query{q},
+		Seed:    1,
+		Budget:  dp.Epsilon(budget),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// startServer runs a Server over a memory listener and returns a dialer.
+func startServer(t testing.TB, rt *runtime.Runtime, cfg Config) (*Server, *MemListener) {
+	t.Helper()
+	cfg.Runtime = rt
+	if cfg.Auth == nil {
+		cfg.Auth = TokenAuth(0)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewMemListener()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve(l)
+	}()
+	t.Cleanup(func() {
+		s.Close()
+		<-done
+	})
+	return s, l
+}
+
+func dialTenant(t testing.TB, l *MemListener, token string) *Client {
+	t.Helper()
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(conn, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// windowEvents is one window's worth of events for a stream: an (a, b) pair
+// so "probe" has something to detect, then a closer event past the boundary.
+func windowEvents(stream string, winIdx int64) []event.Event {
+	base := winIdx * 10
+	return []event.Event{
+		event.New("a", event.Timestamp(base+1)).WithSource(stream),
+		event.New("b", event.Timestamp(base+2)).WithSource(stream),
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	rt := newTestRuntime(t, 5)
+	defer rt.Close()
+	_, l := startServer(t, rt, Config{})
+
+	c := dialTenant(t, l, "alice")
+	w := c.Welcome()
+	if w.Tenant != "alice" {
+		t.Errorf("tenant = %q", w.Tenant)
+	}
+	if w.Shards != 2 {
+		t.Errorf("shards = %d", w.Shards)
+	}
+	if w.Grant != 5 {
+		t.Errorf("grant = %g", w.Grant)
+	}
+	if len(w.Queries) != 1 || w.Queries[0] != "probe" {
+		t.Errorf("shared queries = %v", w.Queries)
+	}
+}
+
+func TestAuthRejected(t *testing.T) {
+	rt := newTestRuntime(t, 0)
+	defer rt.Close()
+	s, l := startServer(t, rt, Config{})
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Dial(conn, "bad/tenant")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeAuth {
+		t.Fatalf("want CodeAuth, got %v", err)
+	}
+	if s.Stats().AuthFailures != 1 {
+		t.Errorf("auth failures = %d", s.Stats().AuthFailures)
+	}
+}
+
+func TestIngestSubscribeAnswer(t *testing.T) {
+	rt := newTestRuntime(t, 0)
+	defer rt.Close()
+	_, l := startServer(t, rt, Config{})
+	c := dialTenant(t, l, "alice")
+
+	sub, err := c.Subscribe("probe", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two windows: the second's events close the first.
+	for w := int64(0); w < 2; w++ {
+		n, err := c.Ingest(windowEvents("s1", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Errorf("acked %d events", n)
+		}
+	}
+	select {
+	case a := <-sub.C:
+		if a.Stream != "s1" {
+			t.Errorf("answer stream = %q (namespace prefix must be stripped)", a.Stream)
+		}
+		if a.Query != "probe" {
+			t.Errorf("answer query = %q", a.Query)
+		}
+		if a.Sub != sub.ID() {
+			t.Errorf("answer sub = %d, want %d", a.Sub, sub.ID())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no answer within 5s")
+	}
+	if err := c.Unsubscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.C; ok {
+		// Draining any answer buffered before the unsubscribe is fine; the
+		// channel must close eventually.
+		for range sub.C {
+		}
+	}
+}
+
+func TestSubscribeUnknownQuery(t *testing.T) {
+	rt := newTestRuntime(t, 0)
+	defer rt.Close()
+	_, l := startServer(t, rt, Config{})
+	c := dialTenant(t, l, "alice")
+
+	_, err := c.Subscribe("no-such-query", 1)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeUnknownQuery {
+		t.Fatalf("want CodeUnknownQuery, got %v", err)
+	}
+}
+
+func TestRegisterQueryNamespaced(t *testing.T) {
+	rt := newTestRuntime(t, 0)
+	defer rt.Close()
+	_, l := startServer(t, rt, Config{})
+	alice := dialTenant(t, l, "alice")
+	bob := dialTenant(t, l, "bob")
+
+	if _, err := alice.RegisterQuery("mine", "SEQ(a, b)", 10); err != nil {
+		t.Fatal(err)
+	}
+	// The name lives under alice's namespace: bob cannot see it …
+	if _, err := bob.Subscribe("mine", 1); err == nil {
+		t.Fatal("bob subscribed to alice's query")
+	}
+	// … while alice resolves it before any shared name.
+	sub, err := alice.Subscribe("mine", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := int64(0); w < 2; w++ {
+		if _, err := alice.Ingest(windowEvents("s1", w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case a := <-sub.C:
+		if a.Query != "mine" {
+			t.Errorf("answer query = %q (tenant prefix must be stripped)", a.Query)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no answer within 5s")
+	}
+}
+
+func TestRegisterPrivateNamespaced(t *testing.T) {
+	rt := newTestRuntime(t, 0)
+	defer rt.Close()
+	_, l := startServer(t, rt, Config{})
+	c := dialTenant(t, l, "alice")
+
+	if _, err := c.RegisterPrivate("sensitive", []string{"a", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	// The registered type is namespaced; a bad registration is rejected.
+	if _, err := c.RegisterPrivate("", []string{"a"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := c.RegisterPrivate("x/y", []string{"a"}); err == nil {
+		t.Fatal("delimiter in name accepted")
+	}
+}
+
+func TestStreamQuota(t *testing.T) {
+	rt := newTestRuntime(t, 0)
+	defer rt.Close()
+	_, l := startServer(t, rt, Config{Auth: TokenAuth(2)})
+	c := dialTenant(t, l, "alice")
+
+	for _, s := range []string{"s1", "s2"} {
+		if _, err := c.Ingest(windowEvents(s, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := c.Ingest(windowEvents("s3", 0))
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeQuota {
+		t.Fatalf("want CodeQuota, got %v", err)
+	}
+	// Known streams keep flowing after the cap is hit.
+	if _, err := c.Ingest(windowEvents("s1", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainRejectsIngest(t *testing.T) {
+	rt := newTestRuntime(t, 0)
+	defer rt.Close()
+	s, l := startServer(t, rt, Config{})
+	c := dialTenant(t, l, "alice")
+
+	if _, err := c.Ingest(windowEvents("s1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	select {
+	case g := <-c.Goodbye:
+		if g.Reason != "drain" {
+			t.Errorf("goodbye reason = %q", g.Reason)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no goodbye within 5s")
+	}
+	_, err := c.Ingest(windowEvents("s1", 1))
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeDraining {
+		t.Fatalf("want CodeDraining, got %v", err)
+	}
+	// New connections are refused outright.
+	if _, err := l.Dial(); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
+}
+
+func TestSessionCloseReleasesSubscriptions(t *testing.T) {
+	rt := newTestRuntime(t, 0)
+	defer rt.Close()
+	_, l := startServer(t, rt, Config{})
+
+	before := rt.OpenSubscriptions()
+	c := dialTenant(t, l, "alice")
+	if _, err := c.Subscribe("probe", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe("", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.OpenSubscriptions(); got != before+2 {
+		t.Fatalf("open subscriptions = %d, want %d", got, before+2)
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.OpenSubscriptions() != before {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriptions leaked: %d left", rt.OpenSubscriptions()-before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTenantIsolation(t *testing.T) {
+	rt := newTestRuntime(t, 0)
+	defer rt.Close()
+	_, l := startServer(t, rt, Config{})
+	alice := dialTenant(t, l, "alice")
+	bob := dialTenant(t, l, "bob")
+
+	// Both subscribe to everything; both ingest a stream named "shared".
+	subA, err := alice.Subscribe("", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subB, err := bob.Subscribe("", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := int64(0); w < 3; w++ {
+		if _, err := alice.Ingest(windowEvents("shared", w)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bob.Ingest(windowEvents("shared", w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each side must see only its own answers, under the bare stream name.
+	check := func(name string, c <-chan wire.Answer) {
+		select {
+		case a := <-c:
+			if a.Stream != "shared" {
+				t.Errorf("%s saw stream %q", name, a.Stream)
+			}
+			if strings.ContainsRune(a.Stream, '/') || strings.ContainsRune(a.Query, '/') {
+				t.Errorf("%s saw namespaced name: %q %q", name, a.Stream, a.Query)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s got no answer within 5s", name)
+		}
+	}
+	check("alice", subA.C)
+	check("bob", subB.C)
+}
+
+func TestStatsPerTenantSpend(t *testing.T) {
+	rt := newTestRuntime(t, 8)
+	defer rt.Close()
+	s, l := startServer(t, rt, Config{})
+	alice := dialTenant(t, l, "alice")
+	bob := dialTenant(t, l, "bob")
+
+	var wg sync.WaitGroup
+	for _, c := range []*Client{alice, bob} {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for w := int64(0); w < 4; w++ {
+				if _, err := c.Ingest(windowEvents("s1", w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Wait until both tenants' windows have been charged.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if len(st.Tenants) == 2 &&
+			st.Tenants[0].Spend.Spent > 0 && st.Tenants[1].Spend.Spent > 0 {
+			if st.Tenants[0].Tenant != "alice" || st.Tenants[1].Tenant != "bob" {
+				t.Fatalf("tenants = %+v", st.Tenants)
+			}
+			if st.Tenants[0].Spend.Streams != 1 || st.Tenants[1].Spend.Streams != 1 {
+				t.Fatalf("per-tenant streams = %+v", st.Tenants)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("per-tenant spend never appeared: %+v", st.Tenants)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

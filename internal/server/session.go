@@ -1,0 +1,425 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"patterndp/internal/cep"
+	"patterndp/internal/core"
+	"patterndp/internal/event"
+	"patterndp/internal/runtime"
+	"patterndp/internal/wire"
+)
+
+// session is one tenant connection: a request loop reading frames, a single
+// writer goroutine draining the bounded outbound answer queue, and one
+// bridge goroutine per live subscription moving answers from the runtime bus
+// into the queue.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	tenant *tenantState
+	prefix string // "tenant/" once authenticated
+
+	// wmu serializes frame writes; each frame is one Write call, so frames
+	// never interleave on the wire.
+	wmu sync.Mutex
+
+	// out is the bounded outbound answer queue. Bridges enqueue without
+	// blocking (dropping on overflow); the writer goroutine drains it.
+	out  chan wire.Answer
+	done chan struct{}
+	once sync.Once
+
+	mu   sync.Mutex
+	subs map[uint64]*runtime.Subscription
+	wg   sync.WaitGroup // bridge + writer goroutines
+
+	scratch []event.Event // ingest decode buffer, reused per request
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	return &session{
+		srv:  s,
+		conn: conn,
+		out:  make(chan wire.Answer, s.cfg.OutboundQueue),
+		done: make(chan struct{}),
+		subs: make(map[uint64]*runtime.Subscription),
+	}
+}
+
+// close tears the session down exactly once: the writer and every bridge are
+// released, every runtime subscription is cancelled (so the bus never stalls
+// on a dead session), and the connection is closed (unblocking the request
+// loop).
+func (ss *session) close() {
+	ss.once.Do(func() {
+		close(ss.done)
+		ss.mu.Lock()
+		subs := ss.subs
+		ss.subs = nil
+		ss.mu.Unlock()
+		for _, sub := range subs {
+			sub.Cancel()
+		}
+		ss.conn.Close()
+	})
+}
+
+// run serves the connection until the peer disconnects, a protocol error
+// occurs, or the server closes the session. It returns only after every
+// session goroutine has exited.
+func (ss *session) run() {
+	defer func() {
+		ss.close()
+		ss.wg.Wait()
+		if ss.tenant != nil {
+			ss.tenant.sessions.Dec()
+		}
+	}()
+	r := wire.NewReader(ss.conn)
+	if !ss.handshake(r) {
+		return
+	}
+	ss.wg.Add(1)
+	go ss.writeLoop()
+	for {
+		f, err := r.Next()
+		if err != nil {
+			return
+		}
+		if !ss.dispatch(f) {
+			return
+		}
+	}
+}
+
+// handshake performs Hello → Welcome, authenticating the tenant.
+func (ss *session) handshake(r *wire.Reader) bool {
+	f, err := r.Next()
+	if err != nil {
+		return false
+	}
+	if f.Type != wire.THello {
+		ss.sendError(0, wire.CodeProto, fmt.Sprintf("expected hello, got %v", f.Type))
+		return false
+	}
+	h, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		ss.sendError(0, wire.CodeProto, err.Error())
+		return false
+	}
+	if h.Proto < 1 {
+		ss.sendError(0, wire.CodeProto, fmt.Sprintf("bad protocol version %d", h.Proto))
+		return false
+	}
+	t, err := ss.srv.cfg.Auth(h.Token)
+	if err == nil && (t.ID == "" || strings.ContainsRune(t.ID, namespaceDelim)) {
+		err = fmt.Errorf("auth returned invalid tenant id %q", t.ID)
+	}
+	if err != nil {
+		ss.srv.authFailures.Inc()
+		ss.sendError(0, wire.CodeAuth, err.Error())
+		return false
+	}
+	ss.tenant = ss.srv.tenantFor(t)
+	ss.tenant.sessions.Inc()
+	ss.prefix = t.ID + string(namespaceDelim)
+	rt := ss.srv.cfg.Runtime
+	var shared []string
+	for _, q := range rt.Queries() {
+		if !strings.ContainsRune(q.Name, namespaceDelim) {
+			shared = append(shared, q.Name)
+		}
+	}
+	w := wire.Welcome{
+		Tenant:  t.ID,
+		Shards:  uint64(len(rt.Snapshot().Shards)),
+		Grant:   float64(rt.BudgetGrant()),
+		Queries: shared,
+	}
+	return ss.writeFrame(wire.TWelcome, wire.AppendWelcome(nil, w)) == nil
+}
+
+// dispatch handles one request frame. It returns false when the session
+// should end (goodbye or unrecoverable protocol error).
+func (ss *session) dispatch(f wire.Frame) bool {
+	switch f.Type {
+	case wire.TIngest:
+		return ss.handleIngest(f.Payload)
+	case wire.TSubscribe:
+		return ss.handleSubscribe(f.Payload)
+	case wire.TUnsubscribe:
+		return ss.handleUnsubscribe(f.Payload)
+	case wire.TRegisterQuery:
+		return ss.handleRegisterQuery(f.Payload)
+	case wire.TRegisterPrivate:
+		return ss.handleRegisterPrivate(f.Payload)
+	case wire.TGoodbye:
+		return false
+	default:
+		ss.sendError(0, wire.CodeProto, fmt.Sprintf("unexpected frame %v", f.Type))
+		return false
+	}
+}
+
+func (ss *session) handleIngest(payload []byte) bool {
+	in, err := wire.DecodeIngest(payload, ss.scratch[:0])
+	if err != nil {
+		ss.sendError(0, wire.CodeProto, err.Error())
+		return false
+	}
+	ss.scratch = in.Events
+	if ss.srv.Draining() {
+		ss.sendError(in.Req, wire.CodeDraining, "server draining")
+		return true
+	}
+	// Namespace every event's stream key under the tenant before the batch
+	// reaches the shared runtime.
+	keys := make(map[string]struct{})
+	for i := range in.Events {
+		in.Events[i].Source = ss.prefix + in.Events[i].Source
+		keys[in.Events[i].Source] = struct{}{}
+	}
+	if err := ss.tenant.admitStreams(keys); err != nil {
+		ss.sendError(in.Req, wire.CodeQuota, err.Error())
+		return true
+	}
+	if err := ss.srv.cfg.Runtime.IngestBatch(in.Events); err != nil {
+		code := wire.CodeInternal
+		if ss.srv.Draining() {
+			code = wire.CodeDraining
+		}
+		ss.sendError(in.Req, code, err.Error())
+		return true
+	}
+	ss.tenant.eventsIn.Add(int64(len(in.Events)))
+	return ss.sendAck(in.Req, uint64(len(in.Events)))
+}
+
+func (ss *session) handleSubscribe(payload []byte) bool {
+	req, err := wire.DecodeSubscribe(payload)
+	if err != nil {
+		ss.sendError(0, wire.CodeProto, err.Error())
+		return false
+	}
+	ss.mu.Lock()
+	_, dup := ss.subs[req.ID]
+	ss.mu.Unlock()
+	if dup {
+		ss.sendError(req.Req, wire.CodeInvalid, fmt.Sprintf("subscription id %d in use", req.ID))
+		return true
+	}
+	rt := ss.srv.cfg.Runtime
+	var sub *runtime.Subscription
+	if req.Query == "" {
+		sub, err = rt.Subscribe("")
+	} else {
+		// Tenant-registered names shadow shared names.
+		sub, err = rt.Subscribe(ss.prefix + req.Query)
+		if err != nil && errorsIsUnknownQuery(err) {
+			sub, err = rt.Subscribe(req.Query)
+		}
+	}
+	if err != nil {
+		code := wire.CodeInternal
+		if errorsIsUnknownQuery(err) {
+			code = wire.CodeUnknownQuery
+		}
+		ss.sendError(req.Req, code, err.Error())
+		return true
+	}
+	ss.mu.Lock()
+	if ss.subs == nil { // session closed while subscribing
+		ss.mu.Unlock()
+		sub.Cancel()
+		return false
+	}
+	ss.subs[req.ID] = sub
+	ss.wg.Add(1)
+	ss.mu.Unlock()
+	go ss.bridge(req.ID, sub)
+	return ss.writeFrame(wire.TSubscribed,
+		wire.AppendSubscribed(nil, wire.Subscribed{Req: req.Req, ID: req.ID})) == nil
+}
+
+func (ss *session) handleUnsubscribe(payload []byte) bool {
+	req, err := wire.DecodeUnsubscribe(payload)
+	if err != nil {
+		ss.sendError(0, wire.CodeProto, err.Error())
+		return false
+	}
+	ss.mu.Lock()
+	sub := ss.subs[req.ID]
+	delete(ss.subs, req.ID)
+	ss.mu.Unlock()
+	if sub == nil {
+		ss.sendError(req.Req, wire.CodeInvalid, fmt.Sprintf("unknown subscription id %d", req.ID))
+		return true
+	}
+	sub.Cancel()
+	return ss.sendAck(req.Req, 0)
+}
+
+func (ss *session) handleRegisterQuery(payload []byte) bool {
+	req, err := wire.DecodeRegisterQuery(payload)
+	if err != nil {
+		ss.sendError(0, wire.CodeProto, err.Error())
+		return false
+	}
+	if ss.srv.Draining() {
+		ss.sendError(req.Req, wire.CodeDraining, "server draining")
+		return true
+	}
+	if bad := validName(req.Name); bad != nil {
+		ss.sendError(req.Req, wire.CodeInvalid, bad.Error())
+		return true
+	}
+	q, err := cep.ParseQuery(ss.prefix+req.Name, req.Pattern, event.Timestamp(req.Window))
+	if err != nil {
+		ss.sendError(req.Req, wire.CodeInvalid, err.Error())
+		return true
+	}
+	epoch, err := ss.srv.cfg.Runtime.RegisterQuery(q)
+	if err != nil {
+		ss.sendError(req.Req, wire.CodeInternal, err.Error())
+		return true
+	}
+	return ss.sendAck(req.Req, uint64(epoch))
+}
+
+func (ss *session) handleRegisterPrivate(payload []byte) bool {
+	req, err := wire.DecodeRegisterPrivate(payload)
+	if err != nil {
+		ss.sendError(0, wire.CodeProto, err.Error())
+		return false
+	}
+	if ss.srv.Draining() {
+		ss.sendError(req.Req, wire.CodeDraining, "server draining")
+		return true
+	}
+	if bad := validName(req.Name); bad != nil {
+		ss.sendError(req.Req, wire.CodeInvalid, bad.Error())
+		return true
+	}
+	elems := make([]event.Type, len(req.Elements))
+	for i, e := range req.Elements {
+		elems[i] = event.Type(e)
+	}
+	pt, err := core.NewPatternType(ss.prefix+req.Name, elems...)
+	if err != nil {
+		ss.sendError(req.Req, wire.CodeInvalid, err.Error())
+		return true
+	}
+	epoch, err := ss.srv.cfg.Runtime.RegisterPrivate(pt)
+	if err != nil {
+		ss.sendError(req.Req, wire.CodeInternal, err.Error())
+		return true
+	}
+	return ss.sendAck(req.Req, uint64(epoch))
+}
+
+// bridge moves one subscription's answers into the outbound queue. It never
+// blocks: an answer that finds the queue full is dropped and counted, so a
+// slow connection only ever costs itself. Answers from other tenants'
+// streams are filtered here — this is the isolation boundary for shared and
+// subscribe-all queries — and namespace prefixes are stripped before the
+// wire.
+func (ss *session) bridge(id uint64, sub *runtime.Subscription) {
+	defer ss.wg.Done()
+	for a := range sub.C() {
+		stream, ok := strings.CutPrefix(a.Stream, ss.prefix)
+		if !ok {
+			continue
+		}
+		query := a.Query
+		if cut, ok := strings.CutPrefix(query, ss.prefix); ok {
+			query = cut
+		} else if strings.ContainsRune(query, namespaceDelim) {
+			// Another tenant's registered query, evaluated over this
+			// tenant's stream by the shared runtime: neither side may see
+			// the cross product, so it is filtered on both bridges.
+			continue
+		}
+		wa := wire.Answer{
+			Sub:              id,
+			Stream:           stream,
+			Query:            query,
+			Epoch:            uint64(a.Epoch),
+			WindowIndex:      uint64(a.WindowIndex),
+			Start:            int64(a.Window.Start),
+			End:              int64(a.Window.End),
+			Detected:         a.Detected,
+			Suppressed:       a.Suppressed,
+			SpentEpsilon:     float64(a.SpentEpsilon),
+			RemainingEpsilon: float64(a.RemainingEpsilon),
+		}
+		select {
+		case ss.out <- wa:
+		default:
+			ss.tenant.answersDropped.Inc()
+		}
+	}
+}
+
+// writeLoop is the session's single answer writer: it drains the outbound
+// queue onto the connection, reusing one encode buffer.
+func (ss *session) writeLoop() {
+	defer ss.wg.Done()
+	var buf []byte
+	for {
+		select {
+		case wa := <-ss.out:
+			buf = wire.AppendFrame(buf[:0], wire.TAnswer, wire.AppendAnswer(nil, wa))
+			ss.wmu.Lock()
+			_, err := ss.conn.Write(buf)
+			ss.wmu.Unlock()
+			if err != nil {
+				return
+			}
+			ss.tenant.answersSent.Inc()
+		case <-ss.done:
+			return
+		}
+	}
+}
+
+// writeFrame writes one control frame, serialized against the answer writer.
+func (ss *session) writeFrame(t wire.Type, payload []byte) error {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	return wire.WriteFrame(ss.conn, t, payload)
+}
+
+func (ss *session) sendAck(req, n uint64) bool {
+	return ss.writeFrame(wire.TAck, wire.AppendAck(nil, wire.Ack{Req: req, N: n})) == nil
+}
+
+func (ss *session) sendError(req uint64, code uint8, msg string) {
+	ss.writeFrame(wire.TError, wire.AppendError(nil, wire.Error{Req: req, Code: code, Msg: msg}))
+}
+
+// goodbye announces an orderly server-side close (drain) without tearing the
+// session down: the client keeps draining answers and closes when done.
+func (ss *session) goodbye(reason string) {
+	ss.writeFrame(wire.TGoodbye, wire.AppendGoodbye(nil, wire.Goodbye{Reason: reason}))
+}
+
+// validName vets a tenant-relative name for registration.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name")
+	}
+	if strings.ContainsRune(name, namespaceDelim) {
+		return fmt.Errorf("name %q contains %q", name, string(namespaceDelim))
+	}
+	return nil
+}
+
+func errorsIsUnknownQuery(err error) bool {
+	return errors.Is(err, runtime.ErrUnknownQuery)
+}

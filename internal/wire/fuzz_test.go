@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"patterndp/internal/event"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes to the frame decoder (mirroring the
+// WAL's FuzzSegmentDecode): it must never panic, every frame it accepts must
+// sit in a CRC-valid header at offset 0 and re-encode to the bytes it
+// consumed, and the streaming Reader must agree with the slice decoder on
+// the same input.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, THello, AppendHello(nil, Hello{Proto: Version, Token: "tenant-a"})))
+	f.Add(AppendFrame(nil, TIngest, AppendIngest(nil, Ingest{
+		Req:    1,
+		Events: []event.Event{event.New("a", 1).WithSource("s")},
+	})))
+	f.Add(AppendFrame(nil, TAck, AppendAck(nil, Ack{Req: 1, N: 1})))
+	whole := AppendFrame(nil, TAnswer, AppendAnswer(nil, Answer{Sub: 1, Stream: "s", Query: "q"}))
+	f.Add(whole[:len(whole)-2]) // torn tail
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize+4))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		r := NewReader(bytes.NewReader(data))
+		sf, serr := r.Next()
+		if err != nil {
+			// The streaming reader must reject the same prefix: a short
+			// buffer surfaces as an EOF flavor, anything else as an error.
+			if err == io.ErrShortBuffer {
+				if serr == nil && len(data) >= HeaderSize {
+					// A short slice can still be a whole frame for the
+					// streaming reader only if DecodeFrame could parse it,
+					// which it couldn't — so Next must have failed too.
+					t.Fatalf("reader accepted prefix DecodeFrame rejected: %v", sf.Type)
+				}
+			} else if serr == nil {
+				t.Fatalf("reader accepted frame DecodeFrame rejected (%v)", err)
+			}
+			return
+		}
+		if n < HeaderSize || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// The accepted frame must re-encode to exactly the consumed bytes.
+		if again := AppendFrame(nil, fr.Type, fr.Payload); !bytes.Equal(again, data[:n]) {
+			t.Fatalf("frame does not re-encode canonically:\n %x\n %x", again, data[:n])
+		}
+		// And its CRC must genuinely cover the payload.
+		if crc32.ChecksumIEEE(fr.Payload) != binary.LittleEndian.Uint32(data[8:]) {
+			t.Fatal("accepted frame with mismatched CRC")
+		}
+		// Streaming reader agreement on the accepted frame.
+		if serr != nil {
+			t.Fatalf("reader rejected frame DecodeFrame accepted: %v", serr)
+		}
+		if sf.Type != fr.Type || !bytes.Equal(sf.Payload, fr.Payload) {
+			t.Fatal("reader and slice decoder disagree")
+		}
+	})
+}

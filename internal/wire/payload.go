@@ -1,0 +1,510 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"patterndp/internal/event"
+)
+
+// Payload codecs: one struct per frame type with Append/Decode pairs. All
+// integers are varint/uvarint, strings are uvarint-length-prefixed, floats
+// are fixed 8-byte LE bit patterns. Every decoder consumes the whole
+// payload — trailing bytes are a protocol error, so a frame can never smuggle
+// undecoded state past a validator.
+
+// maxStringLen bounds string length prefixes inside payloads (the frame
+// itself is already bounded by MaxPayload).
+const maxStringLen = MaxPayload
+
+// Error codes carried by TError frames.
+const (
+	// CodeProto is a malformed or out-of-sequence frame; the connection is
+	// closed after sending it.
+	CodeProto uint8 = 1 + iota
+	// CodeAuth is a rejected Hello token.
+	CodeAuth
+	// CodeQuota is a request denied by the tenant's quota (budget grant
+	// exhausted or stream cap reached).
+	CodeQuota
+	// CodeUnknownQuery is a Subscribe/Unsubscribe for a name the tenant can
+	// see no query under.
+	CodeUnknownQuery
+	// CodeInvalid is a semantically invalid request (bad pattern syntax,
+	// bad window, bad subscription id).
+	CodeInvalid
+	// CodeDraining is a request rejected because the server is shutting
+	// down; the peer should drain answers and close.
+	CodeDraining
+	// CodeInternal is a server-side failure serving the request.
+	CodeInternal
+)
+
+// Hello opens a connection.
+type Hello struct {
+	// Proto is the highest protocol version the client speaks (currently
+	// always Version; carried so a future server can negotiate down).
+	Proto uint64
+	// Token authenticates the tenant (interpreted by the server's AuthFunc).
+	Token string
+}
+
+// Welcome accepts a Hello.
+type Welcome struct {
+	// Tenant is the authenticated tenant id: the namespace prefix of every
+	// stream and query name the connection owns.
+	Tenant string
+	// Shards is the serving runtime's shard count.
+	Shards uint64
+	// Grant is the tenant's ε quota (0 = unlimited).
+	Grant float64
+	// Queries are the shared (tenant-independent) query names the tenant
+	// may subscribe to immediately.
+	Queries []string
+}
+
+// Ingest carries one batch of events.
+type Ingest struct {
+	// Req identifies the request for its Ack/Error.
+	Req uint64
+	// Events is the batch; sources are tenant-relative stream keys.
+	Events []event.Event
+}
+
+// Subscribe opens a streaming answer subscription.
+type Subscribe struct {
+	Req uint64
+	// ID is the client-chosen subscription id Answer frames will carry.
+	ID uint64
+	// Query is the query name ("" subscribes to every query visible to the
+	// tenant). Tenant-registered names resolve before shared names.
+	Query string
+}
+
+// Subscribed confirms a Subscribe.
+type Subscribed struct {
+	Req uint64
+	ID  uint64
+}
+
+// Unsubscribe cancels a subscription.
+type Unsubscribe struct {
+	Req uint64
+	ID  uint64
+}
+
+// Answer streams one released answer to a subscriber.
+type Answer struct {
+	// Sub is the subscription id the answer belongs to.
+	Sub uint64
+	// Stream is the tenant-relative stream key (namespace prefix stripped).
+	Stream string
+	// Query is the query name as the tenant knows it.
+	Query string
+	// Epoch is the control-plane epoch the answer was served under.
+	Epoch uint64
+	// WindowIndex is the window's position in the stream feed.
+	WindowIndex uint64
+	// Start and End delimit the half-open window interval.
+	Start, End int64
+	// Detected is the released (perturbed) binary answer.
+	Detected bool
+	// Suppressed marks a budget-suppressed placeholder.
+	Suppressed bool
+	// SpentEpsilon and RemainingEpsilon are the stream's budget position
+	// after the release (zero when accounting is off).
+	SpentEpsilon, RemainingEpsilon float64
+}
+
+// RegisterQuery registers a target query under the tenant's namespace.
+type RegisterQuery struct {
+	Req uint64
+	// Name is the tenant-relative query name.
+	Name string
+	// Pattern is the textual pattern expression (cep.Parse grammar).
+	Pattern string
+	// Window is the query window width (0 = the pattern's WITHIN clause).
+	Window int64
+}
+
+// RegisterPrivate registers a private pattern type under the tenant's
+// namespace.
+type RegisterPrivate struct {
+	Req uint64
+	// Name is the tenant-relative pattern-type name.
+	Name string
+	// Elements are the element event types.
+	Elements []string
+}
+
+// Ack confirms a request.
+type Ack struct {
+	Req uint64
+	// N is request-specific: events accepted for Ingest, the control-plane
+	// epoch for registrations, 0 otherwise.
+	N uint64
+}
+
+// Error reports a failed request (Req from the request) or a
+// connection-level fault (Req 0).
+type Error struct {
+	Req  uint64
+	Code uint8
+	Msg  string
+}
+
+// Goodbye announces an orderly close.
+type Goodbye struct {
+	// Reason is human-readable ("drain", "client done", …).
+	Reason string
+}
+
+// Append/Decode pairs.
+
+// AppendHello appends h's payload encoding to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = binary.AppendUvarint(dst, h.Proto)
+	return appendString(dst, h.Token)
+}
+
+// DecodeHello decodes a Hello payload.
+func DecodeHello(b []byte) (Hello, error) {
+	var h Hello
+	d := decoder{b: b}
+	h.Proto = d.uvarint()
+	h.Token = d.string()
+	return h, d.finish("hello")
+}
+
+// AppendWelcome appends w's payload encoding to dst.
+func AppendWelcome(dst []byte, w Welcome) []byte {
+	dst = appendString(dst, w.Tenant)
+	dst = binary.AppendUvarint(dst, w.Shards)
+	dst = appendFloat(dst, w.Grant)
+	dst = binary.AppendUvarint(dst, uint64(len(w.Queries)))
+	for _, q := range w.Queries {
+		dst = appendString(dst, q)
+	}
+	return dst
+}
+
+// DecodeWelcome decodes a Welcome payload.
+func DecodeWelcome(b []byte) (Welcome, error) {
+	var w Welcome
+	d := decoder{b: b}
+	w.Tenant = d.string()
+	w.Shards = d.uvarint()
+	w.Grant = d.float()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b)-d.off)+1 {
+		return w, fmt.Errorf("wire: welcome: query count %d exceeds payload", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		w.Queries = append(w.Queries, d.string())
+	}
+	return w, d.finish("welcome")
+}
+
+// AppendIngest appends i's payload encoding to dst.
+func AppendIngest(dst []byte, i Ingest) []byte {
+	dst = binary.AppendUvarint(dst, i.Req)
+	return event.AppendBinaryBatch(dst, i.Events)
+}
+
+// DecodeIngest decodes an Ingest payload, appending the events into evs
+// (which may be reused scratch).
+func DecodeIngest(b []byte, evs []event.Event) (Ingest, error) {
+	var in Ingest
+	d := decoder{b: b}
+	in.Req = d.uvarint()
+	if d.err != nil {
+		return in, d.finish("ingest")
+	}
+	var err error
+	in.Events, err = event.DecodeBinaryBatch(evs, d.b[d.off:])
+	if err != nil {
+		return in, fmt.Errorf("wire: ingest: %w", err)
+	}
+	return in, nil
+}
+
+// AppendSubscribe appends s's payload encoding to dst.
+func AppendSubscribe(dst []byte, s Subscribe) []byte {
+	dst = binary.AppendUvarint(dst, s.Req)
+	dst = binary.AppendUvarint(dst, s.ID)
+	return appendString(dst, s.Query)
+}
+
+// DecodeSubscribe decodes a Subscribe payload.
+func DecodeSubscribe(b []byte) (Subscribe, error) {
+	var s Subscribe
+	d := decoder{b: b}
+	s.Req = d.uvarint()
+	s.ID = d.uvarint()
+	s.Query = d.string()
+	return s, d.finish("subscribe")
+}
+
+// AppendSubscribed appends s's payload encoding to dst.
+func AppendSubscribed(dst []byte, s Subscribed) []byte {
+	dst = binary.AppendUvarint(dst, s.Req)
+	return binary.AppendUvarint(dst, s.ID)
+}
+
+// DecodeSubscribed decodes a Subscribed payload.
+func DecodeSubscribed(b []byte) (Subscribed, error) {
+	var s Subscribed
+	d := decoder{b: b}
+	s.Req = d.uvarint()
+	s.ID = d.uvarint()
+	return s, d.finish("subscribed")
+}
+
+// AppendUnsubscribe appends u's payload encoding to dst.
+func AppendUnsubscribe(dst []byte, u Unsubscribe) []byte {
+	dst = binary.AppendUvarint(dst, u.Req)
+	return binary.AppendUvarint(dst, u.ID)
+}
+
+// DecodeUnsubscribe decodes an Unsubscribe payload.
+func DecodeUnsubscribe(b []byte) (Unsubscribe, error) {
+	var u Unsubscribe
+	d := decoder{b: b}
+	u.Req = d.uvarint()
+	u.ID = d.uvarint()
+	return u, d.finish("unsubscribe")
+}
+
+// AppendAnswer appends a's payload encoding to dst.
+func AppendAnswer(dst []byte, a Answer) []byte {
+	dst = binary.AppendUvarint(dst, a.Sub)
+	dst = appendString(dst, a.Stream)
+	dst = appendString(dst, a.Query)
+	dst = binary.AppendUvarint(dst, a.Epoch)
+	dst = binary.AppendUvarint(dst, a.WindowIndex)
+	dst = binary.AppendVarint(dst, a.Start)
+	dst = binary.AppendVarint(dst, a.End)
+	var bits byte
+	if a.Detected {
+		bits |= 1
+	}
+	if a.Suppressed {
+		bits |= 2
+	}
+	dst = append(dst, bits)
+	dst = appendFloat(dst, a.SpentEpsilon)
+	return appendFloat(dst, a.RemainingEpsilon)
+}
+
+// DecodeAnswer decodes an Answer payload.
+func DecodeAnswer(b []byte) (Answer, error) {
+	var a Answer
+	d := decoder{b: b}
+	a.Sub = d.uvarint()
+	a.Stream = d.string()
+	a.Query = d.string()
+	a.Epoch = d.uvarint()
+	a.WindowIndex = d.uvarint()
+	a.Start = d.varint()
+	a.End = d.varint()
+	bits := d.byte()
+	if d.err == nil && bits&^byte(3) != 0 {
+		return a, fmt.Errorf("wire: answer: unknown flag bits %#x", bits)
+	}
+	a.Detected = bits&1 != 0
+	a.Suppressed = bits&2 != 0
+	a.SpentEpsilon = d.float()
+	a.RemainingEpsilon = d.float()
+	return a, d.finish("answer")
+}
+
+// AppendRegisterQuery appends r's payload encoding to dst.
+func AppendRegisterQuery(dst []byte, r RegisterQuery) []byte {
+	dst = binary.AppendUvarint(dst, r.Req)
+	dst = appendString(dst, r.Name)
+	dst = appendString(dst, r.Pattern)
+	return binary.AppendVarint(dst, r.Window)
+}
+
+// DecodeRegisterQuery decodes a RegisterQuery payload.
+func DecodeRegisterQuery(b []byte) (RegisterQuery, error) {
+	var r RegisterQuery
+	d := decoder{b: b}
+	r.Req = d.uvarint()
+	r.Name = d.string()
+	r.Pattern = d.string()
+	r.Window = d.varint()
+	return r, d.finish("register-query")
+}
+
+// AppendRegisterPrivate appends r's payload encoding to dst.
+func AppendRegisterPrivate(dst []byte, r RegisterPrivate) []byte {
+	dst = binary.AppendUvarint(dst, r.Req)
+	dst = appendString(dst, r.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Elements)))
+	for _, e := range r.Elements {
+		dst = appendString(dst, e)
+	}
+	return dst
+}
+
+// DecodeRegisterPrivate decodes a RegisterPrivate payload.
+func DecodeRegisterPrivate(b []byte) (RegisterPrivate, error) {
+	var r RegisterPrivate
+	d := decoder{b: b}
+	r.Req = d.uvarint()
+	r.Name = d.string()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b)-d.off)+1 {
+		return r, fmt.Errorf("wire: register-private: element count %d exceeds payload", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r.Elements = append(r.Elements, d.string())
+	}
+	return r, d.finish("register-private")
+}
+
+// AppendAck appends a's payload encoding to dst.
+func AppendAck(dst []byte, a Ack) []byte {
+	dst = binary.AppendUvarint(dst, a.Req)
+	return binary.AppendUvarint(dst, a.N)
+}
+
+// DecodeAck decodes an Ack payload.
+func DecodeAck(b []byte) (Ack, error) {
+	var a Ack
+	d := decoder{b: b}
+	a.Req = d.uvarint()
+	a.N = d.uvarint()
+	return a, d.finish("ack")
+}
+
+// AppendError appends e's payload encoding to dst.
+func AppendError(dst []byte, e Error) []byte {
+	dst = binary.AppendUvarint(dst, e.Req)
+	dst = append(dst, e.Code)
+	return appendString(dst, e.Msg)
+}
+
+// DecodeError decodes an Error payload.
+func DecodeError(b []byte) (Error, error) {
+	var e Error
+	d := decoder{b: b}
+	e.Req = d.uvarint()
+	e.Code = d.byte()
+	e.Msg = d.string()
+	return e, d.finish("error")
+}
+
+// AppendGoodbye appends g's payload encoding to dst.
+func AppendGoodbye(dst []byte, g Goodbye) []byte {
+	return appendString(dst, g.Reason)
+}
+
+// DecodeGoodbye decodes a Goodbye payload.
+func DecodeGoodbye(b []byte) (Goodbye, error) {
+	var g Goodbye
+	d := decoder{b: b}
+	g.Reason = d.string()
+	return g, d.finish("goodbye")
+}
+
+// decoder walks a payload, latching the first error so call sites read as
+// straight-line field lists.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.err = fmt.Errorf("missing byte at offset %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) string() string {
+	if d.err != nil {
+		return ""
+	}
+	l, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("bad string length at offset %d", d.off)
+		return ""
+	}
+	if l > maxStringLen || l > uint64(len(d.b)-d.off-n) {
+		d.err = fmt.Errorf("string length %d at offset %d exceeds payload", l, d.off)
+		return ""
+	}
+	s := string(d.b[d.off+n : d.off+n+int(l)])
+	d.off += n + int(l)
+	return s
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b)-d.off < 8 {
+		d.err = fmt.Errorf("short float at offset %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// finish reports the latched error, or a trailing-bytes violation when the
+// payload was not fully consumed.
+func (d *decoder) finish(frame string) error {
+	if d.err != nil {
+		return fmt.Errorf("wire: %s: %w", frame, d.err)
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wire: %s: %d trailing bytes", frame, len(d.b)-d.off)
+	}
+	return nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}

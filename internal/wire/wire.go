@@ -1,0 +1,221 @@
+// Package wire is the framing layer of the network serving protocol: a
+// length-prefixed, CRC-checksummed binary frame stream over any reliable
+// byte connection (TCP, net.Pipe, an in-memory listener). Frames carry the
+// compact binary event encoding from internal/event; the session semantics
+// on top of them live in internal/server.
+//
+// Every frame is
+//
+//	version  u8     (Version; a peer speaking a different version is
+//	                 rejected at the first frame)
+//	type     u8     (frame Type)
+//	flags    u16 LE (reserved, zero)
+//	length   u32 LE (payload byte count, ≤ MaxPayload)
+//	crc      u32 LE (CRC-32/IEEE of the payload)
+//	payload  length bytes
+//
+// so a reader can always resynchronize trust: a frame whose length exceeds
+// MaxPayload or whose payload fails the CRC is a protocol error and kills
+// the connection — the stream carries no record boundaries to skip to.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the protocol version carried in every frame header.
+const Version = 1
+
+// HeaderSize is the fixed frame-header length in bytes.
+const HeaderSize = 12
+
+// MaxPayload bounds a single frame's payload so a corrupt or hostile length
+// prefix cannot force an unbounded allocation. Ingest batches larger than
+// this must be split across frames.
+const MaxPayload = 4 << 20
+
+// Type identifies a frame's meaning.
+type Type uint8
+
+// Frame types. Client→server: Hello, Ingest, Subscribe, Unsubscribe,
+// RegisterQuery, RegisterPrivate, Goodbye. Server→client: Welcome,
+// Subscribed, Answer, Ack, Error, Goodbye.
+const (
+	invalidType Type = iota
+	// THello opens a connection: protocol handshake plus the auth token.
+	THello
+	// TWelcome accepts a Hello: the authenticated tenant and server facts.
+	TWelcome
+	// TIngest carries a batch of binary-encoded events.
+	TIngest
+	// TSubscribe opens a streaming answer subscription for one query.
+	TSubscribe
+	// TSubscribed confirms a subscription.
+	TSubscribed
+	// TUnsubscribe cancels a subscription by id.
+	TUnsubscribe
+	// TAnswer streams one released query answer to a subscriber.
+	TAnswer
+	// TRegisterQuery registers a target query in the tenant's namespace.
+	TRegisterQuery
+	// TRegisterPrivate registers a private pattern type in the tenant's
+	// namespace.
+	TRegisterPrivate
+	// TAck confirms a request by id.
+	TAck
+	// TError reports a request or connection failure.
+	TError
+	// TGoodbye announces an orderly close (client done, or server drain).
+	TGoodbye
+	typeCount
+)
+
+// String names the frame type for logs and errors.
+func (t Type) String() string {
+	switch t {
+	case THello:
+		return "hello"
+	case TWelcome:
+		return "welcome"
+	case TIngest:
+		return "ingest"
+	case TSubscribe:
+		return "subscribe"
+	case TSubscribed:
+		return "subscribed"
+	case TUnsubscribe:
+		return "unsubscribe"
+	case TAnswer:
+		return "answer"
+	case TRegisterQuery:
+		return "register-query"
+	case TRegisterPrivate:
+		return "register-private"
+	case TAck:
+		return "ack"
+	case TError:
+		return "error"
+	case TGoodbye:
+		return "goodbye"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// valid reports whether t is a defined frame type.
+func (t Type) valid() bool { return t > invalidType && t < typeCount }
+
+// Frame is one decoded frame. Payload aliases the reader's buffer and is
+// valid only until the next read — decode it (or copy it) before advancing.
+type Frame struct {
+	Type    Type
+	Payload []byte
+}
+
+// AppendFrame appends a complete frame (header + payload) to dst and
+// returns the extended slice.
+func AppendFrame(dst []byte, t Type, payload []byte) []byte {
+	var hdr [HeaderSize]byte
+	hdr[0] = Version
+	hdr[1] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one frame to w. The caller serializes concurrent
+// writers; a frame is a single Write call, so writes that are serialized
+// never interleave on the wire.
+func WriteFrame(w io.Writer, t Type, payload []byte) error {
+	buf := AppendFrame(make([]byte, 0, HeaderSize+len(payload)), t, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the bytes consumed. The returned payload aliases b. io.ErrShortBuffer
+// means b holds a valid prefix of a frame and more bytes are needed; any
+// other error is a protocol violation.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < HeaderSize {
+		return Frame{}, 0, io.ErrShortBuffer
+	}
+	if b[0] != Version {
+		return Frame{}, 0, fmt.Errorf("wire: protocol version %d, want %d", b[0], Version)
+	}
+	t := Type(b[1])
+	if !t.valid() {
+		return Frame{}, 0, fmt.Errorf("wire: unknown frame type %d", b[1])
+	}
+	if flags := binary.LittleEndian.Uint16(b[2:]); flags != 0 {
+		return Frame{}, 0, fmt.Errorf("wire: reserved flags %#x set", flags)
+	}
+	length := binary.LittleEndian.Uint32(b[4:])
+	if length > MaxPayload {
+		return Frame{}, 0, fmt.Errorf("wire: frame length %d exceeds max %d", length, MaxPayload)
+	}
+	if uint32(len(b)-HeaderSize) < length {
+		return Frame{}, 0, io.ErrShortBuffer
+	}
+	payload := b[HeaderSize : HeaderSize+int(length)]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(b[8:]) {
+		return Frame{}, 0, fmt.Errorf("wire: %s frame payload CRC mismatch", t)
+	}
+	return Frame{Type: t, Payload: payload}, HeaderSize + int(length), nil
+}
+
+// Reader decodes a frame stream from an io.Reader, reusing one payload
+// buffer across frames.
+type Reader struct {
+	r   io.Reader
+	hdr [HeaderSize]byte
+	buf []byte
+}
+
+// NewReader wraps r. The reader issues exactly two reads per frame (header,
+// payload), so r should be buffered if the underlying transport benefits.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads the next frame. The returned payload is valid until the
+// following Next call. io.EOF is returned only at a clean frame boundary; a
+// connection cut mid-frame surfaces as io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Frame, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if r.hdr[0] != Version {
+		return Frame{}, fmt.Errorf("wire: protocol version %d, want %d", r.hdr[0], Version)
+	}
+	t := Type(r.hdr[1])
+	if !t.valid() {
+		return Frame{}, fmt.Errorf("wire: unknown frame type %d", r.hdr[1])
+	}
+	if flags := binary.LittleEndian.Uint16(r.hdr[2:]); flags != 0 {
+		return Frame{}, fmt.Errorf("wire: reserved flags %#x set", flags)
+	}
+	length := binary.LittleEndian.Uint32(r.hdr[4:])
+	if length > MaxPayload {
+		return Frame{}, fmt.Errorf("wire: frame length %d exceeds max %d", length, MaxPayload)
+	}
+	if uint32(cap(r.buf)) < length {
+		r.buf = make([]byte, length)
+	}
+	payload := r.buf[:length]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(r.hdr[8:]) {
+		return Frame{}, fmt.Errorf("wire: %s frame payload CRC mismatch", t)
+	}
+	return Frame{Type: t, Payload: payload}, nil
+}

@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+
+	"patterndp/internal/event"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello payload")
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, THello, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, TAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != THello || !bytes.Equal(f.Payload, payload) {
+		t.Errorf("frame 1: %v %q", f.Type, f.Payload)
+	}
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TAck || len(f.Payload) != 0 {
+		t.Errorf("frame 2: %v %q", f.Type, f.Payload)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want clean EOF, got %v", err)
+	}
+}
+
+func TestReaderMidFrameCut(t *testing.T) {
+	whole := AppendFrame(nil, TIngest, []byte("abc"))
+	r := NewReader(bytes.NewReader(whole[:len(whole)-1]))
+	if _, err := r.Next(); err != io.ErrUnexpectedEOF {
+		t.Errorf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	good := AppendFrame(nil, TAnswer, []byte("payload"))
+
+	// Flipped payload byte → CRC mismatch.
+	bad := append([]byte(nil), good...)
+	bad[HeaderSize] ^= 0xff
+	if _, _, err := DecodeFrame(bad); err == nil || err == io.ErrShortBuffer {
+		t.Errorf("corrupt payload: %v", err)
+	}
+	// Wrong version.
+	bad = append([]byte(nil), good...)
+	bad[0] = Version + 1
+	if _, _, err := DecodeFrame(bad); err == nil || err == io.ErrShortBuffer {
+		t.Errorf("wrong version: %v", err)
+	}
+	// Unknown type.
+	bad = append([]byte(nil), good...)
+	bad[1] = byte(typeCount)
+	if _, _, err := DecodeFrame(bad); err == nil || err == io.ErrShortBuffer {
+		t.Errorf("unknown type: %v", err)
+	}
+	// Reserved flags.
+	bad = append([]byte(nil), good...)
+	bad[2] = 1
+	if _, _, err := DecodeFrame(bad); err == nil || err == io.ErrShortBuffer {
+		t.Errorf("reserved flags: %v", err)
+	}
+	// Oversized length.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[4:], MaxPayload+1)
+	if _, _, err := DecodeFrame(bad); err == nil || err == io.ErrShortBuffer {
+		t.Errorf("oversized length: %v", err)
+	}
+	// Short prefix asks for more bytes rather than erroring.
+	if _, _, err := DecodeFrame(good[:HeaderSize-1]); err != io.ErrShortBuffer {
+		t.Errorf("short header: %v", err)
+	}
+	if _, _, err := DecodeFrame(good[:len(good)-1]); err != io.ErrShortBuffer {
+		t.Errorf("short payload: %v", err)
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	evs := []event.Event{
+		event.New("a", 1).WithSource("s1").WithAttr("k", event.Int(7)),
+		event.New("b", 2),
+	}
+	hello := Hello{Proto: Version, Token: "tenant-a"}
+	welcome := Welcome{Tenant: "tenant-a", Shards: 8, Grant: 12.5, Queries: []string{"q1", "q2"}}
+	ingest := Ingest{Req: 3, Events: evs}
+	sub := Subscribe{Req: 4, ID: 9, Query: "q1"}
+	subd := Subscribed{Req: 4, ID: 9}
+	unsub := Unsubscribe{Req: 5, ID: 9}
+	ans := Answer{Sub: 9, Stream: "s1", Query: "q1", Epoch: 2, WindowIndex: 11,
+		Start: -10, End: 10, Detected: true, Suppressed: false, SpentEpsilon: 1.5, RemainingEpsilon: 11}
+	regQ := RegisterQuery{Req: 6, Name: "probe", Pattern: "SEQ(a, b)", Window: 10}
+	regP := RegisterPrivate{Req: 7, Name: "secret", Elements: []string{"a", "b"}}
+	ack := Ack{Req: 3, N: 2}
+	werr := Error{Req: 4, Code: CodeQuota, Msg: "grant exhausted"}
+	bye := Goodbye{Reason: "drain"}
+
+	if got, err := DecodeHello(AppendHello(nil, hello)); err != nil || got != hello {
+		t.Errorf("hello: %+v, %v", got, err)
+	}
+	if got, err := DecodeWelcome(AppendWelcome(nil, welcome)); err != nil || !reflect.DeepEqual(got, welcome) {
+		t.Errorf("welcome: %+v, %v", got, err)
+	}
+	gotIn, err := DecodeIngest(AppendIngest(nil, ingest), nil)
+	if err != nil || gotIn.Req != ingest.Req || len(gotIn.Events) != len(evs) {
+		t.Fatalf("ingest: %+v, %v", gotIn, err)
+	}
+	for i := range evs {
+		if !evs[i].Equal(gotIn.Events[i]) {
+			t.Errorf("ingest event %d differs", i)
+		}
+	}
+	if got, err := DecodeSubscribe(AppendSubscribe(nil, sub)); err != nil || got != sub {
+		t.Errorf("subscribe: %+v, %v", got, err)
+	}
+	if got, err := DecodeSubscribed(AppendSubscribed(nil, subd)); err != nil || got != subd {
+		t.Errorf("subscribed: %+v, %v", got, err)
+	}
+	if got, err := DecodeUnsubscribe(AppendUnsubscribe(nil, unsub)); err != nil || got != unsub {
+		t.Errorf("unsubscribe: %+v, %v", got, err)
+	}
+	if got, err := DecodeAnswer(AppendAnswer(nil, ans)); err != nil || got != ans {
+		t.Errorf("answer: %+v, %v", got, err)
+	}
+	if got, err := DecodeRegisterQuery(AppendRegisterQuery(nil, regQ)); err != nil || got != regQ {
+		t.Errorf("register-query: %+v, %v", got, err)
+	}
+	if got, err := DecodeRegisterPrivate(AppendRegisterPrivate(nil, regP)); err != nil || !reflect.DeepEqual(got, regP) {
+		t.Errorf("register-private: %+v, %v", got, err)
+	}
+	if got, err := DecodeAck(AppendAck(nil, ack)); err != nil || got != ack {
+		t.Errorf("ack: %+v, %v", got, err)
+	}
+	if got, err := DecodeError(AppendError(nil, werr)); err != nil || got != werr {
+		t.Errorf("error: %+v, %v", got, err)
+	}
+	if got, err := DecodeGoodbye(AppendGoodbye(nil, bye)); err != nil || got != bye {
+		t.Errorf("goodbye: %+v, %v", got, err)
+	}
+}
+
+func TestPayloadRejectsTrailingBytes(t *testing.T) {
+	if _, err := DecodeAck(append(AppendAck(nil, Ack{Req: 1, N: 2}), 0x00)); err == nil {
+		t.Error("ack with trailing bytes accepted")
+	}
+	if _, err := DecodeIngest(append(AppendIngest(nil, Ingest{Req: 1}), 0x01), nil); err == nil {
+		t.Error("ingest with trailing bytes accepted")
+	}
+}
+
+func TestPayloadRejectsHostileCounts(t *testing.T) {
+	// A welcome whose query count far exceeds the payload must be rejected
+	// before allocating.
+	b := AppendWelcome(nil, Welcome{Tenant: "t", Shards: 1})
+	b = b[:len(b)-1]                                // strip the zero count
+	b = binary.AppendUvarint(b, uint64(MaxPayload)) // hostile count
+	if _, err := DecodeWelcome(b); err == nil {
+		t.Error("hostile welcome query count accepted")
+	}
+	b = AppendRegisterPrivate(nil, RegisterPrivate{Req: 1, Name: "n"})
+	b = b[:len(b)-1]
+	b = binary.AppendUvarint(b, uint64(MaxPayload))
+	if _, err := DecodeRegisterPrivate(b); err == nil {
+		t.Error("hostile register-private element count accepted")
+	}
+}
