@@ -97,6 +97,10 @@ func main() {
 		tenantName   = flag.String("tenant", "tenant-a", "tenant token presented by -connect")
 		maxStreams   = flag.Int("max-streams", 0, "per-tenant distinct-stream quota under -listen (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound under -listen: in-flight flush and session wind-down")
+		heartbeat    = flag.Duration("heartbeat", 10*time.Second, "liveness heartbeat interval under -listen; silent peers are reaped after 2x this (negative = off)")
+		resumeWindow = flag.Duration("resume-window", 30*time.Second, "how long a disconnected session's replay state is kept for resume under -listen (negative = off)")
+		replayBuffer = flag.Int("replay-buffer", 256, "per-subscription replay ring capacity under -listen; overflow surfaces as explicit gap markers")
+		reconnect    = flag.Bool("reconnect", false, "under -connect: auto-reconnect with backoff and resume the session after transport failures")
 	)
 	flag.Parse()
 	if *listen != "" && *connect != "" {
@@ -119,9 +123,9 @@ func main() {
 		}
 		switch {
 		case *listen != "":
-			return runServer(*listen, *maxStreams, *drainTimeout, *shards, *eps, *seed, *buffer, *bp, *lateness, *horizon, *slide, *naive, *windows, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
+			return runServer(*listen, *maxStreams, *drainTimeout, *heartbeat, *resumeWindow, *replayBuffer, *shards, *eps, *seed, *buffer, *bp, *lateness, *horizon, *slide, *naive, *windows, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
 		case *connect != "":
-			return runClient(*connect, *tenantName, *streams, *windows, *batch, *seed)
+			return runClient(*connect, *tenantName, *streams, *windows, *batch, *seed, *reconnect)
 		}
 		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch, *slide, *naive, *snap, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
 	}

@@ -2,14 +2,20 @@
 // the wire protocol, -connect replays the synthetic feed as one such tenant.
 //
 //	ppmserve -listen :7070 -budget 100 -max-streams 64
-//	ppmserve -connect localhost:7070 -tenant alice -streams 8 -windows 200
+//	ppmserve -listen :7070 -heartbeat 5s -resume-window 1m -replay-buffer 512
+//	ppmserve -connect localhost:7070 -tenant alice -streams 8 -windows 200 -reconnect
 //
 // The server serves the dataset's target queries as shared queries every
 // tenant may subscribe to; tenants can additionally register their own
-// namespaced queries and private pattern types over the wire. SIGINT/SIGTERM
-// drain gracefully within -drain-timeout: listeners close, in-flight windows
-// flush through the WAL and final checkpoint, sessions wind down, and the
-// final report breaks serving and ε spend down per tenant.
+// namespaced queries and private pattern types over the wire. Sessions are
+// resilient (see README "Resilience"): -heartbeat bounds dead-peer detection,
+// -resume-window keeps a disconnected session's replay state for
+// reconnect-with-resume, -replay-buffer sizes the per-subscription replay
+// ring, and a -connect client with -reconnect rides transport failures with
+// backoff, replay, and explicit gap markers. SIGINT/SIGTERM drain gracefully
+// within -drain-timeout: listeners close, in-flight windows flush through the
+// WAL and final checkpoint, sessions wind down, and the final report breaks
+// serving, resilience counters, and ε spend down per tenant.
 package main
 
 import (
@@ -31,14 +37,17 @@ import (
 
 // runServer is the -listen mode: one shared runtime, many tenant
 // connections, graceful drain on the first signal.
-func runServer(addr string, maxStreams int, drainTimeout time.Duration, shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
+func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindow time.Duration, replayBuffer, shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
 	rt, ds, scfg, err := buildRuntime(shards, eps, seed, buffer, bp, lateness, horizon, slide, naive, windows, budget, budgetPol, walDir, fsync, ckptEvery)
 	if err != nil {
 		return err
 	}
 	srv, err := server.New(server.Config{
-		Runtime: rt,
-		Auth:    server.TokenAuth(maxStreams),
+		Runtime:      rt,
+		Auth:         server.TokenAuth(maxStreams),
+		Heartbeat:    heartbeat,
+		ResumeWindow: resumeWindow,
+		ReplayBuffer: replayBuffer,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "server: "+format+"\n", args...)
 		},
@@ -56,6 +65,8 @@ func runServer(addr string, maxStreams int, drainTimeout time.Duration, shards i
 	}
 	fmt.Printf("listening on %s: %d shards, window width %d, shared queries %v\n",
 		l.Addr(), shards, scfg.WindowWidth, shared)
+	fmt.Printf("resilience: heartbeat %v (reap at 2x), resume window %v, replay ring %d answers/subscription\n",
+		heartbeat, resumeWindow, replayBuffer)
 	if budget > 0 {
 		fmt.Printf("per-stream budget grant %g per epoch (policy %s), tenant stream quota %s\n",
 			budget, budgetPol, quotaString(maxStreams))
@@ -101,26 +112,29 @@ func quotaString(n int) string {
 	return fmt.Sprintf("%d streams", n)
 }
 
-// printTenantReport is the final per-tenant breakdown: serving counters and,
-// under a budget, each tenant's live ε position.
+// printTenantReport is the final per-tenant breakdown: serving and
+// resilience counters and, under a budget, each tenant's live ε position.
 func printTenantReport(srv *server.Server, withBudget bool) {
 	st := srv.Stats()
-	fmt.Printf("\nserved %d connections (%d auth failures)\n", st.ConnsTotal, st.AuthFailures)
+	fmt.Printf("\nserved %d connections (%d auth failures); sessions: %d parked, %d expired unresumed\n",
+		st.ConnsTotal, st.AuthFailures, st.SessionsParked, st.SessionsExpired)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	if withBudget {
-		fmt.Fprintln(tw, "tenant\tstreams\tevents\tanswers\tdropped\tspent eps\tmax stream\texhausted")
+		fmt.Fprintln(tw, "tenant\tstreams\tevents\tanswers\tdropped\tresumes\treplayed\tgaps\twr-timeouts\tspent eps\tmax stream\texhausted")
 	} else {
-		fmt.Fprintln(tw, "tenant\tstreams\tevents\tanswers\tdropped")
+		fmt.Fprintln(tw, "tenant\tstreams\tevents\tanswers\tdropped\tresumes\treplayed\tgaps\twr-timeouts")
 	}
 	for _, ts := range st.Tenants {
 		if withBudget {
-			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.4g\t%.4g\t%d/%d\n",
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4g\t%.4g\t%d/%d\n",
 				ts.Tenant, ts.Streams, ts.EventsIn, ts.AnswersSent, ts.AnswersDropped,
+				ts.Resumes, ts.AnswersReplayed, ts.GapsSent, ts.WriteTimeouts,
 				float64(ts.Spend.Spent), float64(ts.Spend.MaxStreamSpent),
 				ts.Spend.Exhausted, ts.Spend.Streams)
 		} else {
-			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n",
-				ts.Tenant, ts.Streams, ts.EventsIn, ts.AnswersSent, ts.AnswersDropped)
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				ts.Tenant, ts.Streams, ts.EventsIn, ts.AnswersSent, ts.AnswersDropped,
+				ts.Resumes, ts.AnswersReplayed, ts.GapsSent, ts.WriteTimeouts)
 		}
 	}
 	tw.Flush()
@@ -129,7 +143,7 @@ func printTenantReport(srv *server.Server, withBudget bool) {
 // runClient is the -connect mode: replay the synthetic feed to a server as
 // one tenant, subscribed to every query visible to it, and report what came
 // back — including the budget position the answers carried.
-func runClient(addr, tenant string, streams, windows, batch int, seed int64) error {
+func runClient(addr, tenant string, streams, windows, batch int, seed int64, reconnect bool) error {
 	if batch < 1 {
 		return fmt.Errorf("batch size %d must be >= 1", batch)
 	}
@@ -141,11 +155,11 @@ func runClient(addr, tenant string, streams, windows, batch int, seed int64) err
 	}
 	base := ds.Events()
 
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	c, err := server.Dial(conn, tenant)
+	c, err := server.Connect(server.ClientConfig{
+		Token:     tenant,
+		Dialer:    func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		Reconnect: reconnect,
+	})
 	if err != nil {
 		return err
 	}
@@ -153,6 +167,9 @@ func runClient(addr, tenant string, streams, windows, batch int, seed int64) err
 	w := c.Welcome()
 	fmt.Printf("connected to %s as %q: %d shards, grant %g, shared queries %v\n",
 		addr, w.Tenant, w.Shards, w.Grant, w.Queries)
+	if reconnect {
+		fmt.Printf("reconnect enabled: session %s resumes with replay on transport failure\n", c.Session())
+	}
 
 	sub, err := c.Subscribe("", 1024)
 	if err != nil {
@@ -163,11 +180,22 @@ func runClient(addr, tenant string, streams, windows, batch int, seed int64) err
 	type tally struct{ answers, detected, suppressed int }
 	tallies := make(map[string]*tally)
 	lastSpend := make(map[string]float64)
+	var gaps, gapped int
 	var consumer sync.WaitGroup
 	consumer.Add(1)
 	go func() {
 		defer consumer.Done()
 		for a := range sub.C {
+			if a.Gap {
+				// An explicit gap marker: answers [GapFrom, Seq] were lost
+				// to replay-ring overflow or an expired resume (Seq 0 =
+				// extent unknown).
+				gaps++
+				if a.Seq >= a.GapFrom {
+					gapped += int(a.Seq - a.GapFrom + 1)
+				}
+				continue
+			}
 			tl := tallies[a.Query]
 			if tl == nil {
 				tl = &tally{}
@@ -194,8 +222,18 @@ func runClient(addr, tenant string, streams, windows, batch int, seed int64) err
 		if len(buf) == 0 {
 			return nil
 		}
-		if _, err := c.Ingest(buf); err != nil {
-			return err
+		for {
+			_, err := c.Ingest(buf)
+			if err == nil {
+				break
+			}
+			// Under -reconnect a request that failed in flight is retried
+			// once the session resumes; re-sent window events are idempotent
+			// (late duplicates are dropped by the runtime).
+			if !reconnect || c.Err() != nil || ctx.Err() != nil {
+				return err
+			}
+			time.Sleep(50 * time.Millisecond)
 		}
 		sent += len(buf)
 		buf = buf[:0]
@@ -254,6 +292,11 @@ feed:
 			}
 		}
 		fmt.Printf("budget: answers carried spend for %d streams, max stream spend %.4g eps\n", len(lastSpend), max)
+	}
+	if n := c.Reconnects(); n > 0 || gaps > 0 {
+		extent := fmt.Sprintf("%d answers declared lost", gapped)
+		fmt.Printf("resilience: %d reconnects, %d duplicate answers suppressed, %d gap markers (%s)\n",
+			n, c.DupsDropped(), gaps, extent)
 	}
 	return nil
 }

@@ -1,0 +1,234 @@
+// Package faultnet wraps net.Listener and net.Conn with deterministic,
+// seeded fault injection: added latency, partial (chunked) writes, stalls,
+// and connection resets. It exists to drive chaos tests against the serving
+// layer — the same binary-protocol sessions that run over TCP in production
+// run here over a transport that misbehaves on a reproducible schedule.
+//
+// Determinism: every accepted connection derives its own rand.Source from
+// Config.Seed and the connection's accept index, so a failing soak run can
+// be replayed exactly by pinning the seed. The package has no global state.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the fault schedule for every connection a Listener accepts.
+// Probabilities are in [0,1]; zero values inject nothing of that kind.
+type Config struct {
+	// Seed makes the schedule reproducible. 0 is treated as 1.
+	Seed int64
+	// DelayP is the per-operation probability of an added latency of up to
+	// MaxDelay before a read or write proceeds.
+	DelayP float64
+	// MaxDelay bounds injected latency. Default 5ms when DelayP > 0.
+	MaxDelay time.Duration
+	// ChunkP is the per-write probability that the write is split into
+	// several smaller writes (exercising partial-write handling), each
+	// separated by a short stall.
+	ChunkP float64
+	// ResetP is the per-operation probability that the connection is reset
+	// mid-operation: a write may land a partial prefix and then fail, a
+	// read fails immediately.
+	ResetP float64
+}
+
+// ErrInjectedReset is the error surfaced by operations on a connection the
+// harness reset.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Listener wraps an inner net.Listener, returning fault-injecting
+// connections from Accept. Close closes the inner listener.
+type Listener struct {
+	net.Listener
+	cfg Config
+
+	mu       sync.Mutex
+	accepted int64
+	live     map[*Conn]struct{}
+
+	resets atomic.Int64
+}
+
+// Wrap builds a fault-injecting listener around inner.
+func Wrap(inner net.Listener, cfg Config) *Listener {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	return &Listener{Listener: inner, cfg: cfg, live: map[*Conn]struct{}{}}
+}
+
+// Accept returns the next connection, wrapped with its own deterministic
+// fault schedule.
+func (l *Listener) Accept() (net.Conn, error) {
+	inner, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.accepted++
+	c := &Conn{
+		Conn: inner,
+		lst:  l,
+		rng:  rand.New(rand.NewSource(l.cfg.Seed + l.accepted)),
+	}
+	l.live[c] = struct{}{}
+	l.mu.Unlock()
+	return c, nil
+}
+
+// ResetAll abruptly resets every live connection (the network-partition
+// lever for chaos tests) and returns how many it cut.
+func (l *Listener) ResetAll() int {
+	l.mu.Lock()
+	conns := make([]*Conn, 0, len(l.live))
+	for c := range l.live {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Reset()
+	}
+	return len(conns)
+}
+
+// Stats reports lifetime counts.
+func (l *Listener) Stats() (accepted, resets int64) {
+	l.mu.Lock()
+	accepted = l.accepted
+	l.mu.Unlock()
+	return accepted, l.resets.Load()
+}
+
+func (l *Listener) forget(c *Conn) {
+	l.mu.Lock()
+	delete(l.live, c)
+	l.mu.Unlock()
+}
+
+// Conn is one fault-injecting connection. All faults are drawn from the
+// connection's own seeded source; rngMu makes the draw safe for concurrent
+// readers and writers without perturbing determinism of either side more
+// than the interleaving itself does.
+type Conn struct {
+	net.Conn
+	lst *Listener
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	reset atomic.Bool
+}
+
+// Reset cuts the connection immediately: in-flight and future operations
+// fail with ErrInjectedReset.
+func (c *Conn) Reset() {
+	if c.reset.CompareAndSwap(false, true) {
+		c.lst.resets.Add(1)
+		c.Conn.Close()
+	}
+}
+
+// Close closes the inner connection and drops it from the listener's live
+// set.
+func (c *Conn) Close() error {
+	c.lst.forget(c)
+	return c.Conn.Close()
+}
+
+// roll draws a probability check and a bounded delay under the rng lock.
+func (c *Conn) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.rngMu.Lock()
+	hit := c.rng.Float64() < p
+	c.rngMu.Unlock()
+	return hit
+}
+
+func (c *Conn) someDelay() time.Duration {
+	c.rngMu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(c.lst.cfg.MaxDelay) + 1))
+	c.rngMu.Unlock()
+	return d
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrInjectedReset
+	}
+	if c.roll(c.lst.cfg.DelayP) {
+		time.Sleep(c.someDelay())
+	}
+	if c.roll(c.lst.cfg.ResetP) {
+		c.Reset()
+		return 0, ErrInjectedReset
+	}
+	n, err := c.Conn.Read(p)
+	if c.reset.Load() && err != nil {
+		err = ErrInjectedReset
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrInjectedReset
+	}
+	if c.roll(c.lst.cfg.DelayP) {
+		time.Sleep(c.someDelay())
+	}
+	if c.roll(c.lst.cfg.ResetP) {
+		// Land a partial prefix first, as a real RST mid-flight would.
+		n := 0
+		if len(p) > 1 {
+			n, _ = c.Conn.Write(p[:len(p)/2])
+		}
+		c.Reset()
+		return n, ErrInjectedReset
+	}
+	if c.roll(c.lst.cfg.ChunkP) && len(p) > 1 {
+		return c.writeChunked(p)
+	}
+	n, err := c.Conn.Write(p)
+	if c.reset.Load() && err != nil {
+		err = ErrInjectedReset
+	}
+	return n, err
+}
+
+// writeChunked splits one write into 2–4 partial writes separated by short
+// stalls, exercising every reassembly path in the peer's frame reader.
+func (c *Conn) writeChunked(p []byte) (int, error) {
+	c.rngMu.Lock()
+	parts := 2 + c.rng.Intn(3)
+	c.rngMu.Unlock()
+	if parts > len(p) {
+		parts = len(p)
+	}
+	written := 0
+	for i := 0; i < parts; i++ {
+		end := len(p) * (i + 1) / parts
+		n, err := c.Conn.Write(p[written:end])
+		written += n
+		if err != nil {
+			if c.reset.Load() {
+				err = ErrInjectedReset
+			}
+			return written, err
+		}
+		if i < parts-1 {
+			time.Sleep(c.someDelay() / 4)
+		}
+	}
+	return written, nil
+}

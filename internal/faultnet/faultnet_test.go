@@ -1,0 +1,117 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pair dials through a wrapped TCP loopback listener and returns the
+// client-side raw conn and the server-side faulty conn.
+func pair(t *testing.T, cfg Config) (client net.Conn, server net.Conn, l *Listener) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l = Wrap(inner, cfg)
+	t.Cleanup(func() { l.Close() })
+	type acceptRes struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan acceptRes, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- acceptRes{c, err}
+	}()
+	client, err = net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	res := <-ch
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	t.Cleanup(func() { res.c.Close() })
+	return client, res.c, l
+}
+
+func TestChunkedWriteReassembles(t *testing.T) {
+	client, server, _ := pair(t, Config{Seed: 7, ChunkP: 1, MaxDelay: time.Millisecond})
+	msg := bytes.Repeat([]byte("stream-of-bytes-"), 64)
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Write(msg)
+		done <- err
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("chunked write corrupted the byte stream")
+	}
+}
+
+func TestInjectedResetFailsOperations(t *testing.T) {
+	_, server, l := pair(t, Config{Seed: 3, ResetP: 1})
+	if _, err := server.Write([]byte("doomed")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("want injected reset, got %v", err)
+	}
+	// Once reset, every subsequent operation fails the same way.
+	if _, err := server.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read after reset: %v", err)
+	}
+	if _, resets := l.Stats(); resets != 1 {
+		t.Errorf("resets = %d, want 1", resets)
+	}
+}
+
+func TestResetAllCutsLiveConns(t *testing.T) {
+	client, server, l := pair(t, Config{Seed: 5})
+	if n := l.ResetAll(); n != 1 {
+		t.Fatalf("ResetAll cut %d conns, want 1", n)
+	}
+	if _, err := server.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("server write after ResetAll: %v", err)
+	}
+	// The raw peer observes the closed transport.
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Error("client read succeeded after ResetAll")
+	}
+	accepted, resets := l.Stats()
+	if accepted != 1 || resets != 1 {
+		t.Errorf("stats = (%d accepted, %d resets), want (1, 1)", accepted, resets)
+	}
+}
+
+func TestCloseForgetsConn(t *testing.T) {
+	_, server, l := pair(t, Config{Seed: 9})
+	server.Close()
+	if n := l.ResetAll(); n != 0 {
+		t.Errorf("ResetAll found %d conns after Close, want 0", n)
+	}
+}
+
+func TestDelaySlowsButPreservesBytes(t *testing.T) {
+	client, server, _ := pair(t, Config{Seed: 11, DelayP: 0.5, MaxDelay: time.Millisecond})
+	msg := []byte("latency is not loss")
+	go server.Write(msg)
+	got := make([]byte, len(msg))
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("delayed write corrupted the byte stream")
+	}
+}

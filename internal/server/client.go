@@ -3,41 +3,79 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"patterndp/internal/event"
 	"patterndp/internal/wire"
 )
 
+// ClientConfig configures a Client opened with Connect.
+type ClientConfig struct {
+	// Token authenticates the tenant.
+	Token string
+	// Dialer opens the transport; it is reused for every reconnect attempt.
+	// Required for Connect.
+	Dialer func() (net.Conn, error)
+	// RequestTimeout bounds each synchronous round-trip (Ingest, Subscribe,
+	// registrations): a stalled server surfaces as an error instead of a
+	// hung call. 0 = 10s; negative disables.
+	RequestTimeout time.Duration
+	// Reconnect enables automatic reconnect-with-resume: after a dropped
+	// connection the client re-dials with exponential backoff + jitter,
+	// presents its session token and last-seen sequence numbers, and either
+	// replays the missed tail (deduplicated by seq) or surfaces an explicit
+	// Gap marker on each subscription whose replay state expired.
+	Reconnect bool
+	// BackoffMin and BackoffMax bound the reconnect backoff. Defaults:
+	// 100ms and 5s.
+	BackoffMin, BackoffMax time.Duration
+	// BackoffSeed seeds the backoff jitter; 0 uses a fixed seed, so the
+	// schedule is deterministic by default.
+	BackoffSeed int64
+}
+
 // Client is a tenant-side connection to a Server. Requests (Ingest,
 // Subscribe, registrations) are synchronous — each waits for its Ack or
-// Error — while answers stream asynchronously into per-subscription
-// channels. A Client is safe for concurrent use; requests from multiple
-// goroutines are serialized per id.
+// Error under the request timeout — while answers stream asynchronously into
+// per-subscription channels, deduplicated by sequence number. A Client is
+// safe for concurrent use; requests from multiple goroutines are serialized
+// per id.
 type Client struct {
-	conn    net.Conn
-	welcome wire.Welcome
+	cfg ClientConfig
 
 	wmu sync.Mutex // serializes frame writes
 	req reqCounter
 
-	mu      sync.Mutex
-	pending map[uint64]chan result     // request id → reply slot
-	subs    map[uint64]*clientSubState // subscription id → delivery state
-	subID   uint64
-	err     error // terminal read-loop error
-	done    chan struct{}
+	mu        sync.Mutex
+	conn      net.Conn
+	gen       uint64 // bumped on every detach; stale goroutines self-retire
+	welcome   wire.Welcome
+	session   string // current resume token
+	heartbeat time.Duration
+	pending   map[uint64]chan result     // request id → reply slot
+	subs      map[uint64]*clientSubState // subscription id → delivery state
+	subID     uint64
+	err       error // terminal error
+	closed    bool
+	done      chan struct{}
+
+	reconnects atomic.Int64 // successful resume handshakes
+	dupsSeen   atomic.Int64 // replay-overlap answers dropped by seq dedup
 
 	// Goodbye receives the server's drain announcement, if any (buffered;
 	// at most one).
 	Goodbye chan wire.Goodbye
 }
 
-// result is one request's Ack or Error.
+// result is one request's Ack, Error, or connection failure.
 type result struct {
 	ack  wire.Ack
 	werr *wire.Error
+	err  error
 }
 
 // clientSubState is one subscription's delivery state, closed exactly once
@@ -46,6 +84,12 @@ type result struct {
 // before the channel so a blocked delivery aborts instead of racing the
 // close, and sendMu serializes deliveries against the close itself.
 type clientSubState struct {
+	id    uint64
+	query string
+	// lastSeq is the highest delivered sequence number; it is only touched
+	// by the read/reconnect goroutine chain (never two of them at once).
+	lastSeq uint64
+
 	ch   chan wire.Answer
 	done chan struct{}
 	once sync.Once
@@ -96,60 +140,145 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("server error %d: %s", e.Code, e.Msg)
 }
 
-// Dial performs the Hello → Welcome handshake over an established
-// connection. On success the Client owns conn.
-func Dial(conn net.Conn, token string) (*Client, error) {
+// handshake performs Hello → Welcome on a fresh connection.
+func handshake(conn net.Conn, token string) (wire.Welcome, *wire.Reader, error) {
 	h := wire.Hello{Proto: wire.Version, Token: token}
 	if err := wire.WriteFrame(conn, wire.THello, wire.AppendHello(nil, h)); err != nil {
-		conn.Close()
-		return nil, err
+		return wire.Welcome{}, nil, err
 	}
 	r := wire.NewReader(conn)
 	f, err := r.Next()
 	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("server: handshake: %w", err)
+		return wire.Welcome{}, nil, fmt.Errorf("server: handshake: %w", err)
 	}
 	switch f.Type {
 	case wire.TWelcome:
 	case wire.TError:
 		we, derr := wire.DecodeError(f.Payload)
-		conn.Close()
 		if derr != nil {
-			return nil, derr
+			return wire.Welcome{}, nil, derr
 		}
-		return nil, &RemoteError{Code: we.Code, Msg: we.Msg}
+		return wire.Welcome{}, nil, &RemoteError{Code: we.Code, Msg: we.Msg}
 	default:
-		conn.Close()
-		return nil, fmt.Errorf("server: handshake: unexpected frame %v", f.Type)
+		return wire.Welcome{}, nil, fmt.Errorf("server: handshake: unexpected frame %v", f.Type)
 	}
 	w, err := wire.DecodeWelcome(f.Payload)
+	if err != nil {
+		return wire.Welcome{}, nil, err
+	}
+	return w, r, nil
+}
+
+// Dial performs the Hello → Welcome handshake over an established
+// connection. On success the Client owns conn. A dialed client does not
+// reconnect; use Connect for the resilient variant.
+func Dial(conn net.Conn, token string) (*Client, error) {
+	c := newClient(ClientConfig{Token: token})
+	w, r, err := handshake(conn, token)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	c := &Client{
-		conn:    conn,
-		welcome: w,
+	c.attach(conn, w)
+	go c.readLoop(r, conn, 0)
+	go c.heartbeatLoop(conn, 0, c.heartbeatInterval())
+	return c, nil
+}
+
+// Connect dials through cfg.Dialer and performs the handshake. With
+// cfg.Reconnect, the client survives dropped connections: it re-dials with
+// backoff and resumes its session.
+func Connect(cfg ClientConfig) (*Client, error) {
+	if cfg.Dialer == nil {
+		return nil, errors.New("server: ClientConfig.Dialer is required")
+	}
+	conn, err := cfg.Dialer()
+	if err != nil {
+		return nil, err
+	}
+	c := newClient(cfg)
+	w, r, err := handshake(conn, cfg.Token)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.attach(conn, w)
+	go c.readLoop(r, conn, 0)
+	go c.heartbeatLoop(conn, 0, c.heartbeatInterval())
+	return c, nil
+}
+
+func newClient(cfg ClientConfig) *Client {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	return &Client{
+		cfg:     cfg,
 		pending: make(map[uint64]chan result),
 		subs:    make(map[uint64]*clientSubState),
 		done:    make(chan struct{}),
 		Goodbye: make(chan wire.Goodbye, 1),
 	}
-	go c.readLoop(r)
-	return c, nil
 }
 
-// Welcome returns the server's handshake reply (tenant id, shard count,
-// budget grant, shared query names).
-func (c *Client) Welcome() wire.Welcome { return c.welcome }
+// attach installs a live connection and its handshake facts.
+func (c *Client) attach(conn net.Conn, w wire.Welcome) {
+	c.mu.Lock()
+	c.conn = conn
+	c.welcome = w
+	c.session = w.Session
+	c.heartbeat = time.Duration(w.HeartbeatMillis) * time.Millisecond
+	c.mu.Unlock()
+}
 
-// readLoop demultiplexes inbound frames: answers to their subscription
-// channels, acks and errors to their pending request slots.
-func (c *Client) readLoop(r *wire.Reader) {
+// Welcome returns the latest handshake reply (tenant id, shard count, budget
+// grant, shared query names, session facts).
+func (c *Client) Welcome() wire.Welcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.welcome
+}
+
+// Session returns the current resume token.
+func (c *Client) Session() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// Reconnects counts successful resume handshakes.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// DupsDropped counts replay-overlap answers suppressed by seq dedup.
+func (c *Client) DupsDropped() int64 { return c.dupsSeen.Load() }
+
+func (c *Client) heartbeatInterval() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.heartbeat
+}
+
+func (c *Client) requestTimeout() time.Duration {
+	return max(c.cfg.RequestTimeout, 0)
+}
+
+// readLoop demultiplexes inbound frames for one connection generation:
+// answers to their subscription channels (deduplicated by seq), acks and
+// errors to their pending request slots. On exit it detaches the generation,
+// which either fails the client or hands off to the reconnect loop.
+func (c *Client) readLoop(r *wire.Reader, conn net.Conn, gen uint64) {
 	var err error
-	defer func() { c.fail(err) }()
+	defer func() { c.detach(gen, conn, err) }()
 	for {
+		if h := c.heartbeatInterval(); h > 0 {
+			conn.SetReadDeadline(time.Now().Add(2 * h))
+		}
 		var f wire.Frame
 		f, err = r.Next()
 		if err != nil {
@@ -162,16 +291,10 @@ func (c *Client) readLoop(r *wire.Reader) {
 				err = derr
 				return
 			}
-			c.mu.Lock()
-			st := c.subs[a.Sub]
-			c.mu.Unlock()
-			if st != nil {
-				// Blocking delivery is deliberate: an undrained
-				// subscription stalls this client's reads (and, via the
-				// transport, fills the server's outbound queue for this
-				// connection only).
-				st.send(a)
-			}
+			// Blocking delivery is deliberate: an undrained subscription
+			// stalls this client's reads (and, via the transport, the
+			// server's writer for this connection only).
+			c.deliver(a)
 		case wire.TAck:
 			a, derr := wire.DecodeAck(f.Payload)
 			if derr != nil {
@@ -207,11 +330,80 @@ func (c *Client) readLoop(r *wire.Reader) {
 			case c.Goodbye <- g:
 			default:
 			}
+		case wire.TPing:
+			p, derr := wire.DecodePing(f.Payload)
+			if derr != nil {
+				err = derr
+				return
+			}
+			c.writeFrame(conn, wire.TPong, wire.AppendPong(nil, wire.Pong{Nonce: p.Nonce}))
+		case wire.TPong:
+			// Liveness confirmed by the frame's arrival itself.
 		default:
 			err = fmt.Errorf("server: unexpected frame %v", f.Type)
 			return
 		}
 	}
+}
+
+// deliver routes one answer to its subscription, dropping replay duplicates
+// by sequence number.
+func (c *Client) deliver(a wire.Answer) {
+	c.mu.Lock()
+	st := c.subs[a.Sub]
+	c.mu.Unlock()
+	if st == nil {
+		return
+	}
+	if a.Seq != 0 {
+		if a.Seq <= st.lastSeq {
+			c.dupsSeen.Add(1)
+			return
+		}
+		st.lastSeq = a.Seq
+	}
+	st.send(a)
+}
+
+// heartbeatLoop pings the server every interval; the pongs (and any other
+// inbound frames) keep the read deadline fed. A failed ping closes the
+// connection, forcing the read loop into its detach path.
+func (c *Client) heartbeatLoop(conn net.Conn, gen uint64, h time.Duration) {
+	if h <= 0 {
+		return
+	}
+	t := time.NewTicker(h)
+	defer t.Stop()
+	var nonce uint64
+	for {
+		select {
+		case <-t.C:
+			c.mu.Lock()
+			stale := c.closed || c.gen != gen
+			c.mu.Unlock()
+			if stale {
+				return
+			}
+			nonce++
+			if c.writeFrame(conn, wire.TPing, wire.AppendPing(nil, wire.Ping{Nonce: nonce})) != nil {
+				conn.Close()
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// writeFrame writes one frame to a specific connection under the request
+// write deadline.
+func (c *Client) writeFrame(conn net.Conn, t wire.Type, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if wt := c.requestTimeout(); wt > 0 {
+		conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	return wire.WriteFrame(conn, t, payload)
 }
 
 func (c *Client) reply(req uint64, res result) {
@@ -224,6 +416,167 @@ func (c *Client) reply(req uint64, res result) {
 	}
 }
 
+// errConnLost is wrapped into pending-request failures on a disconnect.
+var errConnLost = errors.New("server: connection lost")
+
+// detach retires one connection generation: pending requests fail fast, and
+// — when reconnect is enabled — the reconnect loop takes over in this
+// goroutine (the read loop is the only caller, so at most one of read loop /
+// reconnect loop ever touches delivery state). Without reconnect, the client
+// fails terminally.
+func (c *Client) detach(gen uint64, conn net.Conn, cause error) {
+	conn.Close()
+	c.mu.Lock()
+	if c.gen != gen || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.gen++
+	next := c.gen
+	pending := c.pending
+	c.pending = make(map[uint64]chan result)
+	reconnect := c.cfg.Reconnect && c.cfg.Dialer != nil
+	c.mu.Unlock()
+	if cause == nil {
+		cause = errClientClosed
+	}
+	for _, ch := range pending {
+		ch <- result{err: fmt.Errorf("%w: %w", errConnLost, cause)}
+	}
+	if reconnect {
+		c.reconnectLoop(next)
+	} else {
+		c.fail(cause)
+	}
+}
+
+// reconnectLoop re-dials with exponential backoff + jitter until an attempt
+// succeeds or the client closes.
+func (c *Client) reconnectLoop(gen uint64) {
+	c.mu.Lock()
+	seed := c.cfg.BackoffSeed
+	c.mu.Unlock()
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed + int64(gen)))
+	backoff := c.cfg.BackoffMin
+	for {
+		c.mu.Lock()
+		stale := c.closed || c.gen != gen
+		c.mu.Unlock()
+		if stale {
+			return
+		}
+		if c.tryResume(gen) {
+			return
+		}
+		// Full jitter on top of the exponential step.
+		d := backoff + time.Duration(rng.Int63n(int64(backoff)+1))
+		select {
+		case <-time.After(d):
+		case <-c.done:
+			return
+		}
+		backoff = min(backoff*2, c.cfg.BackoffMax)
+	}
+}
+
+// tryResume makes one reconnect attempt: dial, handshake, Resume with the
+// last-seen seq per subscription, then hand delivery to a fresh read loop.
+// Subscriptions whose replay state expired get a synthetic Gap marker (Seq 0:
+// extent unknown) and are re-subscribed from scratch. It returns true when
+// the client is live again (or closed); false schedules another attempt.
+func (c *Client) tryResume(gen uint64) bool {
+	conn, err := c.cfg.Dialer()
+	if err != nil {
+		return false
+	}
+	w, r, err := handshake(conn, c.cfg.Token)
+	if err != nil {
+		conn.Close()
+		return false
+	}
+	c.mu.Lock()
+	session := c.session
+	var rsubs []wire.ResumeSub
+	states := make([]*clientSubState, 0, len(c.subs))
+	for _, st := range c.subs {
+		rsubs = append(rsubs, wire.ResumeSub{ID: st.id, LastSeq: st.lastSeq})
+		states = append(states, st)
+	}
+	c.mu.Unlock()
+	req := c.req.next()
+	if err := c.writeFrame(conn, wire.TResume,
+		wire.AppendResume(nil, wire.Resume{Req: req, Session: session, Subs: rsubs})); err != nil {
+		conn.Close()
+		return false
+	}
+	f, err := r.Next()
+	if err != nil || f.Type != wire.TResumed {
+		conn.Close()
+		return false
+	}
+	resd, err := wire.DecodeResumed(f.Payload)
+	if err != nil {
+		conn.Close()
+		return false
+	}
+	resumed := make(map[uint64]bool, len(resd.Subs))
+	for _, id := range resd.Subs {
+		resumed[id] = true
+	}
+
+	c.mu.Lock()
+	if c.closed || c.gen != gen {
+		c.mu.Unlock()
+		conn.Close()
+		return true
+	}
+	c.conn = conn
+	c.welcome = w
+	c.session = resd.Session
+	c.heartbeat = time.Duration(w.HeartbeatMillis) * time.Millisecond
+	c.mu.Unlock()
+	c.reconnects.Add(1)
+
+	// Expired subscriptions: the missed tail is unrecoverable. Surface an
+	// explicit local Gap marker (Seq 0 = extent unknown) and restart the
+	// subscription's sequence space before re-subscribing.
+	var missing []*clientSubState
+	for _, st := range states {
+		if !resumed[st.id] {
+			st.send(wire.Answer{Sub: st.id, Query: st.query, Gap: true, GapFrom: st.lastSeq + 1})
+			st.lastSeq = 0
+			missing = append(missing, st)
+		}
+	}
+
+	go c.readLoop(r, conn, gen)
+	go c.heartbeatLoop(conn, gen, c.heartbeatInterval())
+
+	for _, st := range missing {
+		req := c.req.next()
+		if _, err := c.call(wire.TSubscribe, req,
+			wire.AppendSubscribe(nil, wire.Subscribe{Req: req, ID: st.id, Query: st.query})); err != nil {
+			var re *RemoteError
+			if errors.As(err, &re) {
+				// The server rejected the re-subscription outright (e.g.
+				// the query is gone): the subscription is dead.
+				c.mu.Lock()
+				delete(c.subs, st.id)
+				c.mu.Unlock()
+				st.terminate()
+				continue
+			}
+			// Connection-level failure: the new read loop's detach path
+			// handles the retry.
+			return true
+		}
+	}
+	return true
+}
+
 // fail terminates the client, releasing every pending request and closing
 // every subscription channel.
 func (c *Client) fail(err error) {
@@ -234,6 +587,9 @@ func (c *Client) fail(err error) {
 		}
 		c.err = err
 	}
+	c.closed = true
+	c.gen++
+	conn := c.conn
 	pending := c.pending
 	c.pending = make(map[uint64]chan result)
 	subs := c.subs
@@ -244,33 +600,39 @@ func (c *Client) fail(err error) {
 		close(c.done)
 	}
 	c.mu.Unlock()
-	c.conn.Close()
+	if conn != nil {
+		conn.Close()
+	}
 	for _, ch := range pending {
-		close(ch)
+		ch <- result{err: err}
 	}
 	for _, st := range subs {
 		st.terminate()
 	}
 }
 
-// Err returns the terminal connection error, nil while the client is live.
+// Err returns the terminal error, nil while the client is live (including
+// while it is between connections, reconnecting).
 func (c *Client) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.err
 }
 
-// Close sends a Goodbye and closes the connection.
+// Close sends a Goodbye and closes the connection. Any reconnect loop stops.
 func (c *Client) Close() error {
-	c.wmu.Lock()
-	wire.WriteFrame(c.conn, wire.TGoodbye, wire.AppendGoodbye(nil, wire.Goodbye{Reason: "client done"}))
-	c.wmu.Unlock()
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		c.writeFrame(conn, wire.TGoodbye, wire.AppendGoodbye(nil, wire.Goodbye{Reason: "client done"}))
+	}
 	c.fail(errClientClosed)
 	return nil
 }
 
 // call sends one request frame (payload only; framing happens here) and
-// waits for its Ack or Error.
+// waits for its Ack or Error under the request timeout.
 func (c *Client) call(t wire.Type, req uint64, payload []byte) (wire.Ack, error) {
 	ch := make(chan result, 1)
 	c.mu.Lock()
@@ -279,25 +641,36 @@ func (c *Client) call(t wire.Type, req uint64, payload []byte) (wire.Ack, error)
 		c.mu.Unlock()
 		return wire.Ack{}, err
 	}
+	conn := c.conn
 	c.pending[req] = ch
 	c.mu.Unlock()
-	c.wmu.Lock()
-	err := wire.WriteFrame(c.conn, t, payload)
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.writeFrame(conn, t, payload); err != nil {
 		c.mu.Lock()
 		delete(c.pending, req)
 		c.mu.Unlock()
 		return wire.Ack{}, err
 	}
-	res, ok := <-ch
-	if !ok {
-		return wire.Ack{}, c.Err()
+	var timeout <-chan time.Time
+	if rt := c.requestTimeout(); rt > 0 {
+		tm := time.NewTimer(rt)
+		defer tm.Stop()
+		timeout = tm.C
 	}
-	if res.werr != nil {
-		return wire.Ack{}, &RemoteError{Code: res.werr.Code, Msg: res.werr.Msg}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return wire.Ack{}, res.err
+		}
+		if res.werr != nil {
+			return wire.Ack{}, &RemoteError{Code: res.werr.Code, Msg: res.werr.Msg}
+		}
+		return res.ack, nil
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.pending, req)
+		c.mu.Unlock()
+		return wire.Ack{}, fmt.Errorf("server: request timed out after %v", c.requestTimeout())
 	}
-	return res.ack, nil
 }
 
 // Ingest sends a batch of events and waits for the server's Ack. Event
@@ -316,7 +689,10 @@ func (c *Client) Ingest(evs []event.Event) (int, error) {
 type ClientSub struct {
 	// C streams the subscription's answers; it closes when the client
 	// closes or the subscription is cancelled. Drain it — an undrained
-	// subscription stalls the client's read loop.
+	// subscription stalls the client's read loop. Answers carry contiguous
+	// per-subscription Seq numbers; a Gap marker answer (Gap true) reports
+	// sequence numbers lost to replay-ring overflow or an expired resume
+	// (Seq 0 on a marker means the extent of the loss is unknown).
 	C <-chan wire.Answer
 
 	id uint64
@@ -332,7 +708,6 @@ func (c *Client) Subscribe(query string, buf int) (*ClientSub, error) {
 	if buf <= 0 {
 		buf = 64
 	}
-	st := &clientSubState{ch: make(chan wire.Answer, buf), done: make(chan struct{})}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -341,6 +716,12 @@ func (c *Client) Subscribe(query string, buf int) (*ClientSub, error) {
 	}
 	c.subID++
 	id := c.subID
+	st := &clientSubState{
+		id:    id,
+		query: query,
+		ch:    make(chan wire.Answer, buf),
+		done:  make(chan struct{}),
+	}
 	c.subs[id] = st
 	c.mu.Unlock()
 

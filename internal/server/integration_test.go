@@ -195,7 +195,7 @@ func TestSlowSubscriberIsolation(t *testing.T) {
 	rt := newTestRuntime(t, 0)
 	defer rt.Close()
 	// A tiny outbound queue makes the slow connection overflow quickly.
-	s, l := startServer(t, rt, Config{OutboundQueue: 2})
+	s, l := startServer(t, rt, Config{ReplayBuffer: 2})
 
 	slowSub := dialTenant(t, l, "slow")  // subscribes, never drains
 	slowFeed := dialTenant(t, l, "slow") // same tenant, ingest only

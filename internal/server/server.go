@@ -12,15 +12,23 @@
 // stream keys or answers. Per-tenant ε spend falls out of the same prefixes
 // via Runtime.SpendByNamespace.
 //
-// Backpressure is per connection. Each session owns a bounded outbound
-// answer queue drained by a single writer goroutine; bridge goroutines
-// moving answers from runtime subscriptions into that queue never block — an
-// answer that finds the queue full is dropped and counted against the
-// session. A slow or stalled subscriber therefore costs itself answers but
-// never stalls the runtime's publish path or any other tenant's delivery.
-// Control replies (acks, errors) are never dropped: they are written from
-// the session's request loop, which blocks — and thereby backpressures — only
-// the connection that issued the request.
+// Backpressure is per subscription. Each subscription owns a bounded replay
+// ring of sequence-numbered answers, swept onto the wire by the session's
+// single writer goroutine; bridge goroutines moving answers from runtime
+// subscriptions into the rings never block — an answer that overflows the
+// ring evicts the oldest entry, and the eviction surfaces to the subscriber
+// as an explicit Gap marker answer. A slow or stalled subscriber therefore
+// costs itself answers but never stalls the runtime's publish path or any
+// other tenant's delivery. Control replies (acks, errors) are never dropped:
+// they are written from the session's request loop, which blocks — and
+// thereby backpressures — only the connection that issued the request.
+//
+// Resilience: sessions carry liveness deadlines (a peer silent for two
+// heartbeat intervals is reaped; every frame write is bounded by a write
+// deadline) and survive disconnects — the session's durable half (replay
+// rings, subscriptions) lingers for a resume window, and a reconnecting
+// client re-attaches with a Resume handshake that replays the missed tail
+// exactly once or degrades with a Gap marker.
 package server
 
 import (
@@ -32,6 +40,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"patterndp/internal/account"
 	"patterndp/internal/metrics"
@@ -72,10 +81,22 @@ type Config struct {
 	Runtime *runtime.Runtime
 	// Auth authenticates Hello tokens. Required.
 	Auth AuthFunc
-	// OutboundQueue is each session's answer-queue capacity; answers beyond
-	// it are dropped (and counted) rather than stalling delivery to other
-	// sessions. Default: 256.
-	OutboundQueue int
+	// ReplayBuffer is each subscription's answer ring capacity: the outbound
+	// queue and the replay window in one. Answers beyond it evict the oldest
+	// entries (counted, and surfaced to the subscriber as a Gap marker)
+	// rather than stalling delivery to other sessions. Default: 256.
+	ReplayBuffer int
+	// Heartbeat is the ping cadence announced to clients; a session whose
+	// peer stays silent for two intervals is presumed dead and its
+	// connection reaped. 0 = 10s; negative disables liveness deadlines.
+	Heartbeat time.Duration
+	// WriteTimeout bounds every frame write so a wedged peer cannot hold the
+	// write path (and with it heartbeats and answers) for the whole session.
+	// 0 = the heartbeat interval; negative disables.
+	WriteTimeout time.Duration
+	// ResumeWindow is how long a disconnected session's replay state lingers
+	// for a Resume before it is reaped. 0 = 30s; negative disables resume.
+	ResumeWindow time.Duration
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -88,6 +109,7 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	sessions  map[*session]struct{}
 	tenants   map[string]*tenantState
+	cores     map[string]*sessionCore // session token → durable state
 	draining  bool
 	closed    bool
 
@@ -96,6 +118,26 @@ type Server struct {
 	connsOpen    metrics.Gauge
 	connsTotal   metrics.Counter
 	authFailures metrics.Counter
+	coresExpired metrics.Counter
+}
+
+// heartbeat is the resolved liveness interval (0 = disabled).
+func (s *Server) heartbeat() time.Duration { return max(s.cfg.Heartbeat, 0) }
+
+// writeTimeout is the resolved per-frame write deadline (0 = disabled).
+func (s *Server) writeTimeout() time.Duration { return max(s.cfg.WriteTimeout, 0) }
+
+// resumeWindow is the resolved post-disconnect grace period (0 = disabled).
+func (s *Server) resumeWindow() time.Duration { return max(s.cfg.ResumeWindow, 0) }
+
+// replayBuffer is each subscription's ring capacity.
+func (s *Server) replayBuffer() int { return s.cfg.ReplayBuffer }
+
+// stopping reports whether Drain or Close has begun.
+func (s *Server) stopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
 }
 
 // tenantState is the server-wide per-tenant aggregate, shared by all of the
@@ -106,10 +148,14 @@ type tenantState struct {
 	mu      sync.Mutex
 	streams map[string]struct{} // distinct namespaced stream keys ingested
 
-	sessions       metrics.Gauge
-	eventsIn       metrics.Counter
-	answersSent    metrics.Counter
-	answersDropped metrics.Counter
+	sessions        metrics.Gauge
+	eventsIn        metrics.Counter
+	answersSent     metrics.Counter
+	answersDropped  metrics.Counter
+	answersReplayed metrics.Counter
+	resumes         metrics.Counter
+	gapsSent        metrics.Counter
+	writeTimeouts   metrics.Counter
 }
 
 // admitStreams checks the tenant's stream cap against a batch's distinct
@@ -142,14 +188,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Auth == nil {
 		return nil, errors.New("server: Config.Auth is required")
 	}
-	if cfg.OutboundQueue == 0 {
-		cfg.OutboundQueue = 256
+	if cfg.ReplayBuffer == 0 {
+		cfg.ReplayBuffer = 256
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = 10 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = cfg.Heartbeat
+	}
+	if cfg.ResumeWindow == 0 {
+		cfg.ResumeWindow = 30 * time.Second
 	}
 	return &Server{
 		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
 		sessions:  make(map[*session]struct{}),
 		tenants:   make(map[string]*tenantState),
+		cores:     make(map[string]*sessionCore),
 	}, nil
 }
 
@@ -257,6 +313,21 @@ func (s *Server) Drain() {
 	for _, ss := range sessions {
 		ss.goodbye("drain")
 	}
+	// Parked cores have no client to resume them through a shutdown.
+	for _, c := range s.coreList() {
+		c.retireIf(true)
+	}
+}
+
+// coreList snapshots the live cores.
+func (s *Server) coreList() []*sessionCore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cores := make([]*sessionCore, 0, len(s.cores))
+	for _, c := range s.cores {
+		cores = append(cores, c)
+	}
+	return cores
 }
 
 // Draining reports whether Drain has been called.
@@ -306,6 +377,9 @@ func (s *Server) Close() {
 	for _, ss := range sessions {
 		ss.close()
 	}
+	for _, c := range s.coreList() {
+		c.retireIf(false)
+	}
 }
 
 // TenantStats is one tenant's serving aggregate.
@@ -320,8 +394,20 @@ type TenantStats struct {
 	EventsIn int64
 	// AnswersSent counts answer frames delivered to the tenant.
 	AnswersSent int64
-	// AnswersDropped counts answers dropped by outbound backpressure.
+	// AnswersDropped counts answers evicted from replay rings by overflow
+	// before delivery (each run of evictions surfaces as one Gap marker).
 	AnswersDropped int64
+	// AnswersReplayed counts answers queued for re-delivery by Resume
+	// handshakes.
+	AnswersReplayed int64
+	// Resumes counts successful Resume handshakes (reconnects that
+	// re-attached to live session state).
+	Resumes int64
+	// GapsSent counts explicit Gap marker answers delivered.
+	GapsSent int64
+	// WriteTimeouts counts frame writes abandoned at the write deadline
+	// (each closes its session: the frame may be torn on the wire).
+	WriteTimeouts int64
 	// Spend is the tenant's live budget position (zero value when the
 	// runtime serves without accounting or the tenant has no live streams).
 	Spend account.NamespaceSpend
@@ -334,6 +420,12 @@ type Stats struct {
 	ConnsOpen, ConnsTotal int64
 	// AuthFailures counts rejected Hello frames.
 	AuthFailures int64
+	// SessionsParked counts disconnected sessions currently holding replay
+	// state, awaiting a Resume inside the grace window.
+	SessionsParked int64
+	// SessionsExpired counts parked sessions reaped at the end of the
+	// resume window without a Resume.
+	SessionsExpired int64
 	// Tenants holds one entry per tenant seen, sorted by id.
 	Tenants []TenantStats
 }
@@ -346,9 +438,17 @@ func (s *Server) Stats() Stats {
 		spend[ns.Namespace] = ns
 	}
 	st := Stats{
-		ConnsOpen:    s.connsOpen.Load(),
-		ConnsTotal:   s.connsTotal.Load(),
-		AuthFailures: s.authFailures.Load(),
+		ConnsOpen:       s.connsOpen.Load(),
+		ConnsTotal:      s.connsTotal.Load(),
+		AuthFailures:    s.authFailures.Load(),
+		SessionsExpired: s.coresExpired.Load(),
+	}
+	for _, c := range s.coreList() {
+		c.mu.Lock()
+		if c.attached == nil && !c.retired {
+			st.SessionsParked++
+		}
+		c.mu.Unlock()
 	}
 	s.mu.Lock()
 	for id, ts := range s.tenants {
@@ -356,13 +456,17 @@ func (s *Server) Stats() Stats {
 		streams := len(ts.streams)
 		ts.mu.Unlock()
 		st.Tenants = append(st.Tenants, TenantStats{
-			Tenant:         id,
-			Sessions:       ts.sessions.Load(),
-			Streams:        streams,
-			EventsIn:       ts.eventsIn.Load(),
-			AnswersSent:    ts.answersSent.Load(),
-			AnswersDropped: ts.answersDropped.Load(),
-			Spend:          spend[id],
+			Tenant:          id,
+			Sessions:        ts.sessions.Load(),
+			Streams:         streams,
+			EventsIn:        ts.eventsIn.Load(),
+			AnswersSent:     ts.answersSent.Load(),
+			AnswersDropped:  ts.answersDropped.Load(),
+			AnswersReplayed: ts.answersReplayed.Load(),
+			Resumes:         ts.resumes.Load(),
+			GapsSent:        ts.gapsSent.Load(),
+			WriteTimeouts:   ts.writeTimeouts.Load(),
+			Spend:           spend[id],
 		})
 	}
 	s.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"patterndp/internal/cep"
 	"patterndp/internal/core"
@@ -14,10 +15,11 @@ import (
 	"patterndp/internal/wire"
 )
 
-// session is one tenant connection: a request loop reading frames, a single
-// writer goroutine draining the bounded outbound answer queue, and one
-// bridge goroutine per live subscription moving answers from the runtime bus
-// into the queue.
+// session is one tenant connection: a request loop reading frames under an
+// idle deadline, and a single writer goroutine sweeping the session core's
+// replay rings onto the wire under per-frame write deadlines. The durable
+// state — subscriptions, replay rings, bridges — lives in the sessionCore,
+// which survives this connection if the peer disconnects and resumes.
 type session struct {
 	srv  *Server
 	conn net.Conn
@@ -29,15 +31,18 @@ type session struct {
 	// never interleave on the wire.
 	wmu sync.Mutex
 
-	// out is the bounded outbound answer queue. Bridges enqueue without
-	// blocking (dropping on overflow); the writer goroutine drains it.
-	out  chan wire.Answer
+	wake chan struct{} // cap 1; bridges kick it when rings have data
 	done chan struct{}
 	once sync.Once
 
 	mu   sync.Mutex
-	subs map[uint64]*runtime.Subscription
-	wg   sync.WaitGroup // bridge + writer goroutines
+	core *sessionCore
+
+	// began and orderly are touched only by the read loop.
+	began   bool // a non-resume request was dispatched
+	orderly bool // peer sent Goodbye: retire the core instead of parking it
+
+	wg sync.WaitGroup // writer goroutine
 
 	scratch []event.Event // ingest decode buffer, reused per request
 }
@@ -46,48 +51,75 @@ func newSession(s *Server, conn net.Conn) *session {
 	return &session{
 		srv:  s,
 		conn: conn,
-		out:  make(chan wire.Answer, s.cfg.OutboundQueue),
+		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
-		subs: make(map[uint64]*runtime.Subscription),
 	}
 }
 
-// close tears the session down exactly once: the writer and every bridge are
-// released, every runtime subscription is cancelled (so the bus never stalls
-// on a dead session), and the connection is closed (unblocking the request
-// loop).
+// close ends the connection exactly once: the writer is released and the
+// conn is closed (unblocking the request loop). The core is NOT touched —
+// release parks or retires it after the writer has drained.
 func (ss *session) close() {
 	ss.once.Do(func() {
 		close(ss.done)
-		ss.mu.Lock()
-		subs := ss.subs
-		ss.subs = nil
-		ss.mu.Unlock()
-		for _, sub := range subs {
-			sub.Cancel()
-		}
 		ss.conn.Close()
 	})
 }
 
-// run serves the connection until the peer disconnects, a protocol error
-// occurs, or the server closes the session. It returns only after every
-// session goroutine has exited.
+// kick wakes the writer (no-op if a wake is already pending).
+func (ss *session) kick() {
+	select {
+	case ss.wake <- struct{}{}:
+	default:
+	}
+}
+
+// coreRef returns the session's current core.
+func (ss *session) coreRef() *sessionCore {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.core
+}
+
+func (ss *session) setCore(c *sessionCore) {
+	ss.mu.Lock()
+	ss.core = c
+	ss.mu.Unlock()
+}
+
+// release hands the core back when the connection ends: an orderly goodbye
+// retires it, a disconnect parks it for the resume window.
+func (ss *session) release() {
+	ss.mu.Lock()
+	c := ss.core
+	ss.core = nil
+	ss.mu.Unlock()
+	if c != nil {
+		c.detach(ss, ss.orderly)
+	}
+}
+
+// run serves the connection until the peer disconnects, goes silent past the
+// idle deadline, commits a protocol error, or the server closes the session.
+// It returns only after the writer goroutine has exited.
 func (ss *session) run() {
 	defer func() {
 		ss.close()
 		ss.wg.Wait()
+		ss.release()
 		if ss.tenant != nil {
 			ss.tenant.sessions.Dec()
 		}
 	}()
 	r := wire.NewReader(ss.conn)
+	ss.refreshReadDeadline()
 	if !ss.handshake(r) {
 		return
 	}
 	ss.wg.Add(1)
 	go ss.writeLoop()
 	for {
+		ss.refreshReadDeadline()
 		f, err := r.Next()
 		if err != nil {
 			return
@@ -98,7 +130,16 @@ func (ss *session) run() {
 	}
 }
 
-// handshake performs Hello → Welcome, authenticating the tenant.
+// refreshReadDeadline arms the idle deadline: a peer silent for two
+// heartbeat intervals is presumed dead and reaped.
+func (ss *session) refreshReadDeadline() {
+	if h := ss.srv.heartbeat(); h > 0 {
+		ss.conn.SetReadDeadline(time.Now().Add(2 * h))
+	}
+}
+
+// handshake performs Hello → Welcome, authenticating the tenant and minting
+// the session core whose token a future Resume presents.
 func (ss *session) handshake(r *wire.Reader) bool {
 	f, err := r.Next()
 	if err != nil {
@@ -129,6 +170,7 @@ func (ss *session) handshake(r *wire.Reader) bool {
 	ss.tenant = ss.srv.tenantFor(t)
 	ss.tenant.sessions.Inc()
 	ss.prefix = t.ID + string(namespaceDelim)
+	ss.setCore(ss.srv.newCore(ss.tenant, ss.prefix, ss))
 	rt := ss.srv.cfg.Runtime
 	var shared []string
 	for _, q := range rt.Queries() {
@@ -137,10 +179,13 @@ func (ss *session) handshake(r *wire.Reader) bool {
 		}
 	}
 	w := wire.Welcome{
-		Tenant:  t.ID,
-		Shards:  uint64(len(rt.Snapshot().Shards)),
-		Grant:   float64(rt.BudgetGrant()),
-		Queries: shared,
+		Tenant:             t.ID,
+		Shards:             uint64(len(rt.Snapshot().Shards)),
+		Grant:              float64(rt.BudgetGrant()),
+		Queries:            shared,
+		Session:            ss.coreRef().token,
+		HeartbeatMillis:    uint64(ss.srv.heartbeat() / time.Millisecond),
+		ResumeWindowMillis: uint64(ss.srv.resumeWindow() / time.Millisecond),
 	}
 	return ss.writeFrame(wire.TWelcome, wire.AppendWelcome(nil, w)) == nil
 }
@@ -148,6 +193,23 @@ func (ss *session) handshake(r *wire.Reader) bool {
 // dispatch handles one request frame. It returns false when the session
 // should end (goodbye or unrecoverable protocol error).
 func (ss *session) dispatch(f wire.Frame) bool {
+	switch f.Type {
+	case wire.TPing:
+		p, err := wire.DecodePing(f.Payload)
+		if err != nil {
+			ss.sendError(0, wire.CodeProto, err.Error())
+			return false
+		}
+		return ss.writeFrame(wire.TPong, wire.AppendPong(nil, wire.Pong{Nonce: p.Nonce})) == nil
+	case wire.TPong:
+		return true // liveness is refreshed by the frame's arrival itself
+	case wire.TResume:
+		return ss.handleResume(f.Payload)
+	case wire.TGoodbye:
+		ss.orderly = true
+		return false
+	}
+	ss.began = true
 	switch f.Type {
 	case wire.TIngest:
 		return ss.handleIngest(f.Payload)
@@ -159,12 +221,49 @@ func (ss *session) dispatch(f wire.Frame) bool {
 		return ss.handleRegisterQuery(f.Payload)
 	case wire.TRegisterPrivate:
 		return ss.handleRegisterPrivate(f.Payload)
-	case wire.TGoodbye:
-		return false
 	default:
 		ss.sendError(0, wire.CodeProto, fmt.Sprintf("unexpected frame %v", f.Type))
 		return false
 	}
+}
+
+// handleResume re-attaches the connection to a previous session's core. The
+// fresh core minted at handshake is discarded in favor of the resumed one;
+// when the token is unknown (expired, or another tenant's), the client keeps
+// the fresh core and must re-subscribe from scratch. The Resumed reply is
+// written before the writer is pointed at the resumed core, so the client
+// never sees replayed answers ahead of it.
+func (ss *session) handleResume(payload []byte) bool {
+	req, err := wire.DecodeResume(payload)
+	if err != nil {
+		ss.sendError(0, wire.CodeProto, err.Error())
+		return false
+	}
+	if ss.began {
+		ss.sendError(req.Req, wire.CodeProto, "resume must precede other requests")
+		return false
+	}
+	ss.began = true
+	fresh := ss.coreRef()
+	c := ss.srv.lookupCore(req.Session)
+	if c == nil || c.tenant != ss.tenant || (c != fresh && !c.adopt(ss)) {
+		return ss.writeFrame(wire.TResumed, wire.AppendResumed(nil,
+			wire.Resumed{Req: req.Req, Session: fresh.token})) == nil
+	}
+	if c == fresh {
+		// Resuming the token just issued: nothing to replay.
+		return ss.writeFrame(wire.TResumed, wire.AppendResumed(nil,
+			wire.Resumed{Req: req.Req, Session: fresh.token})) == nil
+	}
+	ids, replay := c.resume(req.Subs)
+	ss.tenant.resumes.Inc()
+	ss.tenant.answersReplayed.Add(int64(replay))
+	ok := ss.writeFrame(wire.TResumed, wire.AppendResumed(nil,
+		wire.Resumed{Req: req.Req, Session: c.token, Subs: ids})) == nil
+	ss.setCore(c)
+	fresh.retireIf(false)
+	ss.kick()
+	return ok
 }
 
 func (ss *session) handleIngest(payload []byte) bool {
@@ -207,10 +306,11 @@ func (ss *session) handleSubscribe(payload []byte) bool {
 		ss.sendError(0, wire.CodeProto, err.Error())
 		return false
 	}
-	ss.mu.Lock()
-	_, dup := ss.subs[req.ID]
-	ss.mu.Unlock()
-	if dup {
+	c := ss.coreRef()
+	if c == nil {
+		return false
+	}
+	if c.hasSub(req.ID) {
 		ss.sendError(req.Req, wire.CodeInvalid, fmt.Sprintf("subscription id %d in use", req.ID))
 		return true
 	}
@@ -233,16 +333,15 @@ func (ss *session) handleSubscribe(payload []byte) bool {
 		ss.sendError(req.Req, code, err.Error())
 		return true
 	}
-	ss.mu.Lock()
-	if ss.subs == nil { // session closed while subscribing
-		ss.mu.Unlock()
+	ok, dup := c.addSub(req.ID, sub)
+	if !ok {
 		sub.Cancel()
-		return false
+		if dup {
+			ss.sendError(req.Req, wire.CodeInvalid, fmt.Sprintf("subscription id %d in use", req.ID))
+			return true
+		}
+		return false // core retired: session is closing
 	}
-	ss.subs[req.ID] = sub
-	ss.wg.Add(1)
-	ss.mu.Unlock()
-	go ss.bridge(req.ID, sub)
 	return ss.writeFrame(wire.TSubscribed,
 		wire.AppendSubscribed(nil, wire.Subscribed{Req: req.Req, ID: req.ID})) == nil
 }
@@ -253,15 +352,11 @@ func (ss *session) handleUnsubscribe(payload []byte) bool {
 		ss.sendError(0, wire.CodeProto, err.Error())
 		return false
 	}
-	ss.mu.Lock()
-	sub := ss.subs[req.ID]
-	delete(ss.subs, req.ID)
-	ss.mu.Unlock()
-	if sub == nil {
+	c := ss.coreRef()
+	if c == nil || !c.removeSub(req.ID) {
 		ss.sendError(req.Req, wire.CodeInvalid, fmt.Sprintf("unknown subscription id %d", req.ID))
 		return true
 	}
-	sub.Cancel()
 	return ss.sendAck(req.Req, 0)
 }
 
@@ -323,76 +418,73 @@ func (ss *session) handleRegisterPrivate(payload []byte) bool {
 	return ss.sendAck(req.Req, uint64(epoch))
 }
 
-// bridge moves one subscription's answers into the outbound queue. It never
-// blocks: an answer that finds the queue full is dropped and counted, so a
-// slow connection only ever costs itself. Answers from other tenants'
-// streams are filtered here — this is the isolation boundary for shared and
-// subscribe-all queries — and namespace prefixes are stripped before the
-// wire.
-func (ss *session) bridge(id uint64, sub *runtime.Subscription) {
-	defer ss.wg.Done()
-	for a := range sub.C() {
-		stream, ok := strings.CutPrefix(a.Stream, ss.prefix)
-		if !ok {
-			continue
-		}
-		query := a.Query
-		if cut, ok := strings.CutPrefix(query, ss.prefix); ok {
-			query = cut
-		} else if strings.ContainsRune(query, namespaceDelim) {
-			// Another tenant's registered query, evaluated over this
-			// tenant's stream by the shared runtime: neither side may see
-			// the cross product, so it is filtered on both bridges.
-			continue
-		}
-		wa := wire.Answer{
-			Sub:              id,
-			Stream:           stream,
-			Query:            query,
-			Epoch:            uint64(a.Epoch),
-			WindowIndex:      uint64(a.WindowIndex),
-			Start:            int64(a.Window.Start),
-			End:              int64(a.Window.End),
-			Detected:         a.Detected,
-			Suppressed:       a.Suppressed,
-			SpentEpsilon:     float64(a.SpentEpsilon),
-			RemainingEpsilon: float64(a.RemainingEpsilon),
-		}
-		select {
-		case ss.out <- wa:
-		default:
-			ss.tenant.answersDropped.Inc()
-		}
-	}
-}
-
-// writeLoop is the session's single answer writer: it drains the outbound
-// queue onto the connection, reusing one encode buffer.
+// writeLoop is the session's single answer writer: it sweeps the core's
+// replay rings onto the connection, reusing one encode buffer, and sleeps
+// until a bridge kicks it. A pop lost to a failed write is not lost data —
+// the client's next Resume rewinds the cursor to the truth.
 func (ss *session) writeLoop() {
 	defer ss.wg.Done()
 	var buf []byte
 	for {
-		select {
-		case wa := <-ss.out:
-			buf = wire.AppendFrame(buf[:0], wire.TAnswer, wire.AppendAnswer(nil, wa))
-			ss.wmu.Lock()
-			_, err := ss.conn.Write(buf)
-			ss.wmu.Unlock()
-			if err != nil {
+		for {
+			wrote := false
+			c := ss.coreRef()
+			if c == nil {
 				return
 			}
-			ss.tenant.answersSent.Inc()
+			for _, st := range c.snapshot() {
+				for {
+					wa, ok := st.next()
+					if !ok {
+						break
+					}
+					buf = wire.AppendFrame(buf[:0], wire.TAnswer, wire.AppendAnswer(nil, wa))
+					if ss.writeBytes(buf) != nil {
+						return
+					}
+					if wa.Gap {
+						ss.tenant.gapsSent.Inc()
+					} else {
+						ss.tenant.answersSent.Inc()
+					}
+					wrote = true
+				}
+			}
+			if !wrote {
+				break
+			}
+		}
+		select {
+		case <-ss.wake:
 		case <-ss.done:
 			return
 		}
 	}
 }
 
+// writeBytes writes one pre-framed buffer under the per-frame write deadline.
+// A failed write — timeout or otherwise — closes the session: the frame may
+// be torn on the wire, so the connection is unusable.
+func (ss *session) writeBytes(buf []byte) error {
+	ss.wmu.Lock()
+	if wt := ss.srv.writeTimeout(); wt > 0 {
+		ss.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	_, err := ss.conn.Write(buf)
+	ss.wmu.Unlock()
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() && ss.tenant != nil {
+			ss.tenant.writeTimeouts.Inc()
+		}
+		ss.close()
+	}
+	return err
+}
+
 // writeFrame writes one control frame, serialized against the answer writer.
 func (ss *session) writeFrame(t wire.Type, payload []byte) error {
-	ss.wmu.Lock()
-	defer ss.wmu.Unlock()
-	return wire.WriteFrame(ss.conn, t, payload)
+	return ss.writeBytes(wire.AppendFrame(nil, t, payload))
 }
 
 func (ss *session) sendAck(req, n uint64) bool {

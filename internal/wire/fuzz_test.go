@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"io"
+	"reflect"
 	"testing"
 
 	"patterndp/internal/event"
@@ -23,7 +24,11 @@ func FuzzFrameDecode(f *testing.F) {
 		Events: []event.Event{event.New("a", 1).WithSource("s")},
 	})))
 	f.Add(AppendFrame(nil, TAck, AppendAck(nil, Ack{Req: 1, N: 1})))
-	whole := AppendFrame(nil, TAnswer, AppendAnswer(nil, Answer{Sub: 1, Stream: "s", Query: "q"}))
+	f.Add(AppendFrame(nil, TPing, AppendPing(nil, Ping{Nonce: 7})))
+	f.Add(AppendFrame(nil, TResume, AppendResume(nil, Resume{
+		Req: 2, Session: "tok", Subs: []ResumeSub{{ID: 1, LastSeq: 9}},
+	})))
+	whole := AppendFrame(nil, TAnswer, AppendAnswer(nil, Answer{Sub: 1, Seq: 3, Stream: "s", Query: "q"}))
 	f.Add(whole[:len(whole)-2]) // torn tail
 	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize+4))
 
@@ -63,6 +68,73 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		if sf.Type != fr.Type || !bytes.Equal(sf.Payload, fr.Payload) {
 			t.Fatal("reader and slice decoder disagree")
+		}
+	})
+}
+
+// FuzzResumeDecode throws arbitrary bytes at the Resume/Resumed codecs: no
+// panics, no unbounded allocations from hostile counts, and every accepted
+// value must survive a re-encode/re-decode round trip unchanged (varints
+// admit non-minimal encodings, so byte identity with the input is not
+// required — semantic identity is).
+func FuzzResumeDecode(f *testing.F) {
+	f.Add(AppendResume(nil, Resume{Req: 1, Session: "tok", Subs: []ResumeSub{{ID: 2, LastSeq: 41}, {ID: 3}}}))
+	f.Add(AppendResumed(nil, Resumed{Req: 1, Session: "tok", Subs: []uint64{2}}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := DecodeResume(data); err == nil {
+			r2, err := DecodeResume(AppendResume(nil, r))
+			if err != nil || !reflect.DeepEqual(r, r2) {
+				t.Fatalf("resume round trip: %+v -> %+v (%v)", r, r2, err)
+			}
+		}
+		if r, err := DecodeResumed(data); err == nil {
+			r2, err := DecodeResumed(AppendResumed(nil, r))
+			if err != nil || !reflect.DeepEqual(r, r2) {
+				t.Fatalf("resumed round trip: %+v -> %+v (%v)", r, r2, err)
+			}
+		}
+	})
+}
+
+// FuzzLivenessDecode covers the Ping/Pong codecs and the Answer codec's gap
+// extension: accepted values must survive a re-encode/re-decode round trip
+// unchanged, and accepted answers must never violate the gap invariants
+// (GapFrom only with the Gap flag, range non-empty and ordered).
+func FuzzLivenessDecode(f *testing.F) {
+	f.Add(AppendPing(nil, Ping{Nonce: 7}))
+	f.Add(AppendAnswer(nil, Answer{Sub: 1, Seq: 9, Stream: "s", Query: "q", Detected: true}))
+	f.Add(AppendAnswer(nil, Answer{Sub: 1, Seq: 9, Query: "q", Gap: true, GapFrom: 4}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := DecodePing(data); err == nil {
+			if p2, err := DecodePing(AppendPing(nil, p)); err != nil || p2 != p {
+				t.Fatalf("ping round trip: %+v -> %+v (%v)", p, p2, err)
+			}
+		}
+		if p, err := DecodePong(data); err == nil {
+			if p2, err := DecodePong(AppendPong(nil, p)); err != nil || p2 != p {
+				t.Fatalf("pong round trip: %+v -> %+v (%v)", p, p2, err)
+			}
+		}
+		if a, err := DecodeAnswer(data); err == nil {
+			if !a.Gap && a.GapFrom != 0 {
+				t.Fatal("accepted gap-from without gap flag")
+			}
+			if a.Gap && (a.GapFrom == 0 || a.GapFrom > a.Seq) {
+				t.Fatalf("accepted invalid gap range [%d, %d]", a.GapFrom, a.Seq)
+			}
+			// Byte-compare the re-encodings rather than the structs: float
+			// fields may legitimately carry NaN, which never compares equal.
+			enc := AppendAnswer(nil, a)
+			a2, err := DecodeAnswer(enc)
+			if err != nil || !bytes.Equal(AppendAnswer(nil, a2), enc) {
+				t.Fatalf("answer round trip: %+v -> %+v (%v)", a, a2, err)
+			}
 		}
 	})
 }

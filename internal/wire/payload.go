@@ -62,6 +62,16 @@ type Welcome struct {
 	// Queries are the shared (tenant-independent) query names the tenant
 	// may subscribe to immediately.
 	Queries []string
+	// Session is the server-issued session token a reconnecting client
+	// presents in a Resume frame to re-attach to this session's state.
+	Session string
+	// HeartbeatMillis is the ping cadence the server expects: a session
+	// silent for two intervals is presumed dead and reaped. 0 = the server
+	// applies no idle deadline.
+	HeartbeatMillis uint64
+	// ResumeWindowMillis is how long the session's replay state lingers
+	// after a disconnect before it is reaped. 0 = resume disabled.
+	ResumeWindowMillis uint64
 }
 
 // Ingest carries one batch of events.
@@ -94,10 +104,17 @@ type Unsubscribe struct {
 	ID  uint64
 }
 
-// Answer streams one released answer to a subscriber.
+// Answer streams one released answer to a subscriber — or, with Gap set, an
+// explicit marker that a contiguous run of answers was lost to replay-ring
+// overflow and can no longer be delivered.
 type Answer struct {
 	// Sub is the subscription id the answer belongs to.
 	Sub uint64
+	// Seq is the answer's per-subscription sequence number (1-based,
+	// contiguous). A subscriber that reconnects resumes from its last seen
+	// Seq; duplicates from replay overlap are deduplicated by it. On a Gap
+	// marker, Seq is the last sequence number the gap covers.
+	Seq uint64
 	// Stream is the tenant-relative stream key (namespace prefix stripped).
 	Stream string
 	// Query is the query name as the tenant knows it.
@@ -115,6 +132,14 @@ type Answer struct {
 	// SpentEpsilon and RemainingEpsilon are the stream's budget position
 	// after the release (zero when accounting is off).
 	SpentEpsilon, RemainingEpsilon float64
+	// Gap marks this answer as a loss marker instead of a release: the
+	// answers with sequence numbers in [GapFrom, Seq] overflowed the
+	// replay ring before delivery and are gone. A Gap marker carries no
+	// window; Stream is empty and Detected is false.
+	Gap bool
+	// GapFrom is the first sequence number a Gap marker covers (0 on
+	// ordinary answers).
+	GapFrom uint64
 }
 
 // RegisterQuery registers a target query under the tenant's namespace.
@@ -160,6 +185,51 @@ type Goodbye struct {
 	Reason string
 }
 
+// Ping probes liveness. Either side may send one at any time after the
+// handshake; the receiver echoes the nonce back in a Pong.
+type Ping struct {
+	// Nonce correlates the Pong (senders typically use a counter).
+	Nonce uint64
+}
+
+// Pong answers a Ping.
+type Pong struct {
+	Nonce uint64
+}
+
+// ResumeSub names one subscription a reconnecting client wants resumed.
+type ResumeSub struct {
+	// ID is the client-chosen subscription id.
+	ID uint64
+	// LastSeq is the highest answer sequence number the client has seen on
+	// the subscription (0 = none); replay starts after it.
+	LastSeq uint64
+}
+
+// Resume re-attaches a reconnecting client to its previous session state.
+// It must be the first request after the handshake, before any Subscribe.
+// Subscriptions held by the old session but absent from Subs are cancelled.
+type Resume struct {
+	Req uint64
+	// Session is the token the previous Welcome (or Resumed) issued.
+	Session string
+	// Subs lists the client's live subscriptions and replay positions.
+	Subs []ResumeSub
+}
+
+// Resumed answers a Resume.
+type Resumed struct {
+	Req uint64
+	// Session is the token now naming this connection's session state: the
+	// Resume's token when the old state was adopted, the fresh handshake's
+	// token when it had expired. The client uses it for the next Resume.
+	Session string
+	// Subs are the subscription ids that were resumed with their replay
+	// state intact. Ids the client asked for that are missing here must be
+	// re-subscribed from scratch (their sequence numbers restart at 1).
+	Subs []uint64
+}
+
 // Append/Decode pairs.
 
 // AppendHello appends h's payload encoding to dst.
@@ -186,7 +256,9 @@ func AppendWelcome(dst []byte, w Welcome) []byte {
 	for _, q := range w.Queries {
 		dst = appendString(dst, q)
 	}
-	return dst
+	dst = appendString(dst, w.Session)
+	dst = binary.AppendUvarint(dst, w.HeartbeatMillis)
+	return binary.AppendUvarint(dst, w.ResumeWindowMillis)
 }
 
 // DecodeWelcome decodes a Welcome payload.
@@ -203,6 +275,9 @@ func DecodeWelcome(b []byte) (Welcome, error) {
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		w.Queries = append(w.Queries, d.string())
 	}
+	w.Session = d.string()
+	w.HeartbeatMillis = d.uvarint()
+	w.ResumeWindowMillis = d.uvarint()
 	return w, d.finish("welcome")
 }
 
@@ -279,6 +354,7 @@ func DecodeUnsubscribe(b []byte) (Unsubscribe, error) {
 // AppendAnswer appends a's payload encoding to dst.
 func AppendAnswer(dst []byte, a Answer) []byte {
 	dst = binary.AppendUvarint(dst, a.Sub)
+	dst = binary.AppendUvarint(dst, a.Seq)
 	dst = appendString(dst, a.Stream)
 	dst = appendString(dst, a.Query)
 	dst = binary.AppendUvarint(dst, a.Epoch)
@@ -292,9 +368,13 @@ func AppendAnswer(dst []byte, a Answer) []byte {
 	if a.Suppressed {
 		bits |= 2
 	}
+	if a.Gap {
+		bits |= 4
+	}
 	dst = append(dst, bits)
 	dst = appendFloat(dst, a.SpentEpsilon)
-	return appendFloat(dst, a.RemainingEpsilon)
+	dst = appendFloat(dst, a.RemainingEpsilon)
+	return binary.AppendUvarint(dst, a.GapFrom)
 }
 
 // DecodeAnswer decodes an Answer payload.
@@ -302,6 +382,7 @@ func DecodeAnswer(b []byte) (Answer, error) {
 	var a Answer
 	d := decoder{b: b}
 	a.Sub = d.uvarint()
+	a.Seq = d.uvarint()
 	a.Stream = d.string()
 	a.Query = d.string()
 	a.Epoch = d.uvarint()
@@ -309,13 +390,21 @@ func DecodeAnswer(b []byte) (Answer, error) {
 	a.Start = d.varint()
 	a.End = d.varint()
 	bits := d.byte()
-	if d.err == nil && bits&^byte(3) != 0 {
+	if d.err == nil && bits&^byte(7) != 0 {
 		return a, fmt.Errorf("wire: answer: unknown flag bits %#x", bits)
 	}
 	a.Detected = bits&1 != 0
 	a.Suppressed = bits&2 != 0
+	a.Gap = bits&4 != 0
 	a.SpentEpsilon = d.float()
 	a.RemainingEpsilon = d.float()
+	a.GapFrom = d.uvarint()
+	if d.err == nil && !a.Gap && a.GapFrom != 0 {
+		return a, fmt.Errorf("wire: answer: gap-from %d without gap flag", a.GapFrom)
+	}
+	if d.err == nil && a.Gap && (a.GapFrom == 0 || a.GapFrom > a.Seq) {
+		return a, fmt.Errorf("wire: answer: gap range [%d, %d] invalid", a.GapFrom, a.Seq)
+	}
 	return a, d.finish("answer")
 }
 
@@ -408,6 +497,89 @@ func DecodeGoodbye(b []byte) (Goodbye, error) {
 	d := decoder{b: b}
 	g.Reason = d.string()
 	return g, d.finish("goodbye")
+}
+
+// AppendPing appends p's payload encoding to dst.
+func AppendPing(dst []byte, p Ping) []byte {
+	return binary.AppendUvarint(dst, p.Nonce)
+}
+
+// DecodePing decodes a Ping payload.
+func DecodePing(b []byte) (Ping, error) {
+	var p Ping
+	d := decoder{b: b}
+	p.Nonce = d.uvarint()
+	return p, d.finish("ping")
+}
+
+// AppendPong appends p's payload encoding to dst.
+func AppendPong(dst []byte, p Pong) []byte {
+	return binary.AppendUvarint(dst, p.Nonce)
+}
+
+// DecodePong decodes a Pong payload.
+func DecodePong(b []byte) (Pong, error) {
+	var p Pong
+	d := decoder{b: b}
+	p.Nonce = d.uvarint()
+	return p, d.finish("pong")
+}
+
+// AppendResume appends r's payload encoding to dst.
+func AppendResume(dst []byte, r Resume) []byte {
+	dst = binary.AppendUvarint(dst, r.Req)
+	dst = appendString(dst, r.Session)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Subs)))
+	for _, s := range r.Subs {
+		dst = binary.AppendUvarint(dst, s.ID)
+		dst = binary.AppendUvarint(dst, s.LastSeq)
+	}
+	return dst
+}
+
+// DecodeResume decodes a Resume payload.
+func DecodeResume(b []byte) (Resume, error) {
+	var r Resume
+	d := decoder{b: b}
+	r.Req = d.uvarint()
+	r.Session = d.string()
+	n := d.uvarint()
+	// Each entry is at least two bytes of varint, so a count beyond half
+	// the remaining payload is hostile.
+	if d.err == nil && n > uint64(len(d.b)-d.off)/2+1 {
+		return r, fmt.Errorf("wire: resume: subscription count %d exceeds payload", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r.Subs = append(r.Subs, ResumeSub{ID: d.uvarint(), LastSeq: d.uvarint()})
+	}
+	return r, d.finish("resume")
+}
+
+// AppendResumed appends r's payload encoding to dst.
+func AppendResumed(dst []byte, r Resumed) []byte {
+	dst = binary.AppendUvarint(dst, r.Req)
+	dst = appendString(dst, r.Session)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Subs)))
+	for _, id := range r.Subs {
+		dst = binary.AppendUvarint(dst, id)
+	}
+	return dst
+}
+
+// DecodeResumed decodes a Resumed payload.
+func DecodeResumed(b []byte) (Resumed, error) {
+	var r Resumed
+	d := decoder{b: b}
+	r.Req = d.uvarint()
+	r.Session = d.string()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b)-d.off)+1 {
+		return r, fmt.Errorf("wire: resumed: subscription count %d exceeds payload", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r.Subs = append(r.Subs, d.uvarint())
+	}
+	return r, d.finish("resumed")
 }
 
 // decoder walks a payload, latching the first error so call sites read as

@@ -41,8 +41,9 @@ const MaxPayload = 4 << 20
 type Type uint8
 
 // Frame types. Client→server: Hello, Ingest, Subscribe, Unsubscribe,
-// RegisterQuery, RegisterPrivate, Goodbye. Server→client: Welcome,
-// Subscribed, Answer, Ack, Error, Goodbye.
+// RegisterQuery, RegisterPrivate, Resume, Goodbye. Server→client: Welcome,
+// Subscribed, Answer, Resumed, Ack, Error, Goodbye. Either direction:
+// Ping, Pong.
 const (
 	invalidType Type = iota
 	// THello opens a connection: protocol handshake plus the auth token.
@@ -70,6 +71,16 @@ const (
 	TError
 	// TGoodbye announces an orderly close (client done, or server drain).
 	TGoodbye
+	// TPing probes peer liveness; either side may send it. The receiver
+	// answers with a TPong echoing the nonce.
+	TPing
+	// TPong answers a TPing.
+	TPong
+	// TResume re-attaches a reconnecting client to its previous session
+	// state (replay rings, subscriptions) by session token.
+	TResume
+	// TResumed answers a TResume with the subscriptions that were resumed.
+	TResumed
 	typeCount
 )
 
@@ -100,6 +111,14 @@ func (t Type) String() string {
 		return "error"
 	case TGoodbye:
 		return "goodbye"
+	case TPing:
+		return "ping"
+	case TPong:
+		return "pong"
+	case TResume:
+		return "resume"
+	case TResumed:
+		return "resumed"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

@@ -95,18 +95,24 @@ func TestPayloadRoundTrips(t *testing.T) {
 		event.New("b", 2),
 	}
 	hello := Hello{Proto: Version, Token: "tenant-a"}
-	welcome := Welcome{Tenant: "tenant-a", Shards: 8, Grant: 12.5, Queries: []string{"q1", "q2"}}
+	welcome := Welcome{Tenant: "tenant-a", Shards: 8, Grant: 12.5, Queries: []string{"q1", "q2"},
+		Session: "tok-123", HeartbeatMillis: 2000, ResumeWindowMillis: 30000}
 	ingest := Ingest{Req: 3, Events: evs}
 	sub := Subscribe{Req: 4, ID: 9, Query: "q1"}
 	subd := Subscribed{Req: 4, ID: 9}
 	unsub := Unsubscribe{Req: 5, ID: 9}
-	ans := Answer{Sub: 9, Stream: "s1", Query: "q1", Epoch: 2, WindowIndex: 11,
+	ans := Answer{Sub: 9, Seq: 41, Stream: "s1", Query: "q1", Epoch: 2, WindowIndex: 11,
 		Start: -10, End: 10, Detected: true, Suppressed: false, SpentEpsilon: 1.5, RemainingEpsilon: 11}
+	gap := Answer{Sub: 9, Seq: 40, Query: "q1", Gap: true, GapFrom: 33}
 	regQ := RegisterQuery{Req: 6, Name: "probe", Pattern: "SEQ(a, b)", Window: 10}
 	regP := RegisterPrivate{Req: 7, Name: "secret", Elements: []string{"a", "b"}}
 	ack := Ack{Req: 3, N: 2}
 	werr := Error{Req: 4, Code: CodeQuota, Msg: "grant exhausted"}
 	bye := Goodbye{Reason: "drain"}
+	ping := Ping{Nonce: 77}
+	pong := Pong{Nonce: 77}
+	res := Resume{Req: 8, Session: "tok-123", Subs: []ResumeSub{{ID: 9, LastSeq: 41}, {ID: 10, LastSeq: 0}}}
+	resd := Resumed{Req: 8, Session: "tok-123", Subs: []uint64{9}}
 
 	if got, err := DecodeHello(AppendHello(nil, hello)); err != nil || got != hello {
 		t.Errorf("hello: %+v, %v", got, err)
@@ -150,6 +156,38 @@ func TestPayloadRoundTrips(t *testing.T) {
 	if got, err := DecodeGoodbye(AppendGoodbye(nil, bye)); err != nil || got != bye {
 		t.Errorf("goodbye: %+v, %v", got, err)
 	}
+	if got, err := DecodeAnswer(AppendAnswer(nil, gap)); err != nil || got != gap {
+		t.Errorf("gap answer: %+v, %v", got, err)
+	}
+	if got, err := DecodePing(AppendPing(nil, ping)); err != nil || got != ping {
+		t.Errorf("ping: %+v, %v", got, err)
+	}
+	if got, err := DecodePong(AppendPong(nil, pong)); err != nil || got != pong {
+		t.Errorf("pong: %+v, %v", got, err)
+	}
+	if got, err := DecodeResume(AppendResume(nil, res)); err != nil || !reflect.DeepEqual(got, res) {
+		t.Errorf("resume: %+v, %v", got, err)
+	}
+	if got, err := DecodeResumed(AppendResumed(nil, resd)); err != nil || !reflect.DeepEqual(got, resd) {
+		t.Errorf("resumed: %+v, %v", got, err)
+	}
+}
+
+func TestAnswerRejectsBadGapEncoding(t *testing.T) {
+	// A gap-from without the gap flag cannot be encoded honestly; splice it.
+	b := AppendAnswer(nil, Answer{Sub: 1, Seq: 5})
+	b = b[:len(b)-1]               // strip the zero GapFrom
+	b = binary.AppendUvarint(b, 3) // GapFrom without Gap flag
+	if _, err := DecodeAnswer(b); err == nil {
+		t.Error("gap-from without gap flag accepted")
+	}
+	// A gap whose range is empty or inverted is invalid.
+	if _, err := DecodeAnswer(AppendAnswer(nil, Answer{Sub: 1, Seq: 5, Gap: true})); err == nil {
+		t.Error("gap with zero gap-from accepted")
+	}
+	if _, err := DecodeAnswer(AppendAnswer(nil, Answer{Sub: 1, Seq: 5, Gap: true, GapFrom: 6})); err == nil {
+		t.Error("inverted gap range accepted")
+	}
 }
 
 func TestPayloadRejectsTrailingBytes(t *testing.T) {
@@ -165,7 +203,7 @@ func TestPayloadRejectsHostileCounts(t *testing.T) {
 	// A welcome whose query count far exceeds the payload must be rejected
 	// before allocating.
 	b := AppendWelcome(nil, Welcome{Tenant: "t", Shards: 1})
-	b = b[:len(b)-1]                                // strip the zero count
+	b = b[:len(b)-4]                                // strip count + session/heartbeat/resume tail
 	b = binary.AppendUvarint(b, uint64(MaxPayload)) // hostile count
 	if _, err := DecodeWelcome(b); err == nil {
 		t.Error("hostile welcome query count accepted")
