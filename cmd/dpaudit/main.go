@@ -25,14 +25,19 @@
 // it must cover the spend of every answer that was published before the
 // kill (over-counting allowed, under-counting never). A second, graceful
 // restart then checks the exact boundary: a drained close loses nothing and
-// the rotated budget epoch is preserved. Non-zero exit on violation, for the
-// same CI audit job.
+// the rotated budget epoch is preserved. A third phase drives the serving
+// layer across the same boundary: a reconnecting subscriber rides a
+// drain/spill/restart cycle and its answer stream must keep one continuous
+// sequence space that tiles exactly-once-or-explicit-gap — seq continuity,
+// not just spend. Non-zero exit on violation, for the same CI audit job.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -41,8 +46,10 @@ import (
 	"patterndp/internal/cep"
 	"patterndp/internal/core"
 	"patterndp/internal/dp"
+	"patterndp/internal/durable"
 	"patterndp/internal/event"
 	"patterndp/internal/runtime"
+	"patterndp/internal/server"
 )
 
 func main() {
@@ -418,6 +425,201 @@ func runRestart(eps float64, m int, seed int64, budget float64) error {
 	if rt3.BudgetEpoch() < ep {
 		return fail("rotated budget epoch %d lost across restart (recovered %d)", ep, rt3.BudgetEpoch())
 	}
-	fmt.Println("  verdict: PASS — recovered spend covers published spend across both boundaries")
+
+	// Phase 3: the serving layer across the same boundary. A reconnecting
+	// subscriber rides a drain/spill/restart cycle; its answer stream must
+	// keep one continuous sequence space (no synthetic unknown-extent gap)
+	// that tiles exactly-once-or-explicit-gap across the restart.
+	srvCfg := server.Config{
+		Auth:         server.TokenAuth(0),
+		Heartbeat:    200 * time.Millisecond,
+		ResumeWindow: 30 * time.Second,
+		ReplayBuffer: 64,
+	}
+	startSrv := func(rt *runtime.Runtime) (*server.Server, *server.MemListener, chan struct{}, error) {
+		c := srvCfg
+		c.Runtime = rt
+		s, err := server.New(c)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		l := server.NewMemListener()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.Serve(l)
+		}()
+		return s, l, done, nil
+	}
+	srvA, lA, doneA, err := startSrv(rt3)
+	if err != nil {
+		return err
+	}
+	var target atomic.Pointer[server.MemListener]
+	target.Store(lA)
+	client, err := server.Connect(server.ClientConfig{
+		Token:          "audit",
+		Dialer:         func() (net.Conn, error) { return target.Load().Dial() },
+		Reconnect:      true,
+		BackoffMin:     2 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	auditSub, err := client.Subscribe("audit-q", 256)
+	if err != nil {
+		return err
+	}
+
+	// Collector: delivered seqs and explicit gap ranges must tile [1, max]
+	// with neither overlap nor holes; a Seq-0 gap marker means the resume
+	// degraded to a fresh sequence space, which phase 3 forbids.
+	var (
+		subMu       sync.Mutex
+		subErr      error
+		subDeliv    = map[uint64]bool{}
+		subGapped   = map[uint64]bool{}
+		subMax      uint64
+		epochBreaks int
+		progress    atomic.Int64
+	)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for a := range auditSub.C {
+			progress.Add(1)
+			subMu.Lock()
+			switch {
+			case a.Gap && a.Seq == 0:
+				epochBreaks++
+			case a.Gap:
+				for q := a.GapFrom; q <= a.Seq; q++ {
+					if subDeliv[q] || subGapped[q] {
+						subErr = fmt.Errorf("seq %d covered twice", q)
+					}
+					subGapped[q] = true
+				}
+				subMax = max(subMax, a.Seq)
+			default:
+				if subDeliv[a.Seq] || subGapped[a.Seq] {
+					subErr = fmt.Errorf("seq %d delivered twice", a.Seq)
+				}
+				subDeliv[a.Seq] = true
+				subMax = max(subMax, a.Seq)
+			}
+			subMu.Unlock()
+		}
+	}()
+	clientIngest := func(from, to event.Timestamp) error {
+		for w := from; w < to; w++ {
+			evs := make([]event.Event, 0, len(pt.Elements))
+			for i, el := range pt.Elements {
+				evs = append(evs, event.New(el, w*slide+event.Timestamp(i)).WithSource("audit-live"))
+			}
+			var ierr error
+			for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(10 * time.Millisecond) {
+				if _, ierr = client.Ingest(evs); ierr == nil {
+					break
+				}
+			}
+			if ierr != nil {
+				return fmt.Errorf("ingest window %d: %w", w, ierr)
+			}
+		}
+		return nil
+	}
+	const liveWindows = 8
+	if err := clientIngest(0, liveWindows); err != nil {
+		return err
+	}
+
+	// The restart: drain preserving session cores, spill them beside the
+	// WAL, close gracefully, recover a successor, adopt the spill, and swing
+	// the client's dialer over.
+	dctx, dcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	srvA.DrainForHandoff()
+	closeErr := rt3.CloseContext(dctx)
+	waitErr := srvA.Wait(dctx)
+	dcancel()
+	if closeErr != nil || waitErr != nil {
+		return fmt.Errorf("phase-3 drain: close %v wait %v", closeErr, waitErr)
+	}
+	subMu.Lock()
+	boundarySeq := subMax
+	subMu.Unlock()
+	spill := srvA.ExportSessions()
+	if err := durable.WriteSessions(walDir, spill); err != nil {
+		return err
+	}
+	srvA.Close()
+	<-doneA
+
+	rt4, err := runtime.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt4.Close()
+	srvB, lB, doneB, err := startSrv(rt4)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		srvB.Close()
+		<-doneB
+	}()
+	sp2, err := durable.ReadSessions(walDir)
+	if err != nil {
+		return err
+	}
+	adopted := 0
+	if sp2 != nil {
+		if adopted, err = srvB.ImportSessions(sp2); err != nil {
+			return err
+		}
+		if err := durable.RemoveSessions(walDir); err != nil {
+			return err
+		}
+	}
+	target.Store(lB)
+	if err := clientIngest(liveWindows, 2*liveWindows); err != nil {
+		return err
+	}
+
+	// Quiesce, then judge the stream.
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		p := progress.Load()
+		time.Sleep(300 * time.Millisecond)
+		if progress.Load() == p && p > 0 {
+			break
+		}
+	}
+	client.Close()
+	<-collectorDone
+
+	subMu.Lock()
+	defer subMu.Unlock()
+	fmt.Printf("subscription boundary: seq space [1..%d] across restart (%d delivered, %d gapped, boundary at seq %d, %d sessions adopted, %d reconnects)\n",
+		subMax, len(subDeliv), len(subGapped), boundarySeq, adopted, client.Reconnects())
+	if subErr != nil {
+		return fail("subscription stream violated exactly-once: %v", subErr)
+	}
+	if adopted == 0 {
+		return fail("restart adopted no spilled sessions — resume had nothing to land on")
+	}
+	if epochBreaks != 0 {
+		return fail("restart broke the subscription sequence space %d time(s): resume degraded to a fresh epoch", epochBreaks)
+	}
+	if subMax <= boundarySeq {
+		return fail("no answers delivered after the restart (max seq %d, boundary %d)", subMax, boundarySeq)
+	}
+	for q := uint64(1); q <= subMax; q++ {
+		if !subDeliv[q] && !subGapped[q] {
+			return fail("seq %d lost silently across the restart (max %d)", q, subMax)
+		}
+	}
+	fmt.Println("  verdict: PASS — recovered spend covers published spend and the subscription seq space tiles across the restart")
 	return nil
 }

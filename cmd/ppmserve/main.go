@@ -13,6 +13,8 @@
 //	ppmserve -slide 25 -snap 2s
 //	ppmserve -budget 100 -budget-policy throttle
 //	ppmserve -budget 100 -wal-dir /var/lib/ppm/wal -fsync interval -checkpoint-every 5s
+//	ppmserve -listen :7070 -wal-dir /var/lib/ppm/b -takeover :7071 -handoff-token s3cr3t
+//	ppmserve -listen :7070 -wal-dir /var/lib/ppm/a -handoff-to host:7071 -handoff-token s3cr3t
 //
 // With -slide less than the window width the runtime serves sliding windows
 // assembled from panes of the slide width (see README "Sliding windows");
@@ -37,8 +39,18 @@
 //
 // SIGINT/SIGTERM shut the server down gracefully: producers stop, in-flight
 // windows are drained and flushed through CloseContext — under -wal-dir the
-// drain also writes a final checkpoint — and the final report (including the
-// budget snapshot) is printed. A second signal aborts.
+// drain also writes a final checkpoint and spills resumable sessions beside
+// the WAL — and the final report (including the budget snapshot) is printed.
+// A second signal aborts.
+//
+// With -handoff-to the first signal performs a rolling restart instead of a
+// plain drain (see README "Rolling restarts"): the server freezes at a pane
+// boundary, spills parked sessions, streams the whole durable directory to a
+// peer started with -takeover, and exits 0 only after the peer verifies and
+// acks the transfer. The peer recovers the shipped partition — refusing to
+// start if recovered spend would under-count the source's frozen spend —
+// adopts the spilled sessions, and -reconnect clients resume against it with
+// session tokens and sequence spaces intact.
 //
 // The -cpuprofile/-memprofile flags write pprof profiles of the serving run,
 // so hot-path regressions can be diagnosed in the demo binary with
@@ -101,10 +113,19 @@ func main() {
 		resumeWindow = flag.Duration("resume-window", 30*time.Second, "how long a disconnected session's replay state is kept for resume under -listen (negative = off)")
 		replayBuffer = flag.Int("replay-buffer", 256, "per-subscription replay ring capacity under -listen; overflow surfaces as explicit gap markers")
 		reconnect    = flag.Bool("reconnect", false, "under -connect: auto-reconnect with backoff and resume the session after transport failures")
+		rateLimit    = flag.Float64("rate-limit", 0, "per-tenant ingest rate limit in events/s under -listen (0 = unlimited)")
+		maxParked    = flag.Int("max-parked", 0, "server-wide cap on parked (disconnected, resumable) sessions under -listen; oldest evicted (0 = unlimited)")
+		handoffTo    = flag.String("handoff-to", "", "under -listen with -wal-dir: on the first signal, freeze and hand the partition off to a -takeover peer at this address, then exit 0")
+		takeover     = flag.String("takeover", "", "under -listen with -wal-dir: before serving, accept one partition handoff on this address into -wal-dir and adopt it")
+		handoffToken = flag.String("handoff-token", "", "shared secret authenticating -handoff-to against -takeover (empty = unauthenticated)")
 	)
 	flag.Parse()
 	if *listen != "" && *connect != "" {
 		fmt.Fprintln(os.Stderr, "ppmserve: -listen and -connect are mutually exclusive")
+		os.Exit(1)
+	}
+	if (*handoffTo != "" || *takeover != "") && (*listen == "" || *walDir == "") {
+		fmt.Fprintln(os.Stderr, "ppmserve: -handoff-to/-takeover require -listen and -wal-dir")
 		os.Exit(1)
 	}
 	// profiledRun keeps the profile defers on a frame that returns before
@@ -123,7 +144,8 @@ func main() {
 		}
 		switch {
 		case *listen != "":
-			return runServer(*listen, *maxStreams, *drainTimeout, *heartbeat, *resumeWindow, *replayBuffer, *shards, *eps, *seed, *buffer, *bp, *lateness, *horizon, *slide, *naive, *windows, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
+			ho := handoffOpts{To: *handoffTo, Takeover: *takeover, Token: *handoffToken}
+			return runServer(*listen, *maxStreams, *drainTimeout, *heartbeat, *resumeWindow, *replayBuffer, *rateLimit, *maxParked, ho, *shards, *eps, *seed, *buffer, *bp, *lateness, *horizon, *slide, *naive, *windows, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
 		case *connect != "":
 			return runClient(*connect, *tenantName, *streams, *windows, *batch, *seed, *reconnect)
 		}

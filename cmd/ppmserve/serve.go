@@ -30,30 +30,81 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"patterndp/internal/durable"
 	"patterndp/internal/event"
+	"patterndp/internal/runtime"
 	"patterndp/internal/server"
 	"patterndp/internal/synth"
 )
 
+// handoffOpts are the rolling-restart knobs: To makes the first signal hand
+// the partition off to a takeover peer instead of plain-draining; Takeover
+// makes startup adopt one inbound handoff before serving; Token is the
+// shared secret between the two.
+type handoffOpts struct {
+	To       string
+	Takeover string
+	Token    string
+}
+
 // runServer is the -listen mode: one shared runtime, many tenant
 // connections, graceful drain on the first signal.
-func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindow time.Duration, replayBuffer, shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
+func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindow time.Duration, replayBuffer int, rateLimit float64, maxParked int, ho handoffOpts, shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
+	var adopted *server.HandoffSummary
+	if ho.Takeover != "" {
+		sum, err := acceptHandoff(ho.Takeover, walDir, ho.Token)
+		if err != nil {
+			return fmt.Errorf("takeover failed (source still authoritative): %w", err)
+		}
+		adopted = &sum
+		fmt.Printf("takeover: adopted %d files (%d bytes) from %s — %d sessions, source spend %.4g\n",
+			sum.Files, sum.Bytes, sum.Source, sum.Sessions, sum.Spend)
+	}
 	rt, ds, scfg, err := buildRuntime(shards, eps, seed, buffer, bp, lateness, horizon, slide, naive, windows, budget, budgetPol, walDir, fsync, ckptEvery)
 	if err != nil {
 		return err
 	}
+	if adopted != nil {
+		// The one-sided invariant, asserted across the process boundary: the
+		// spend this process recovered must cover everything the source had
+		// charged (and possibly published) at freeze.
+		var recovered float64
+		if rec := rt.Recovery(); rec != nil {
+			recovered = float64(rec.RestoredSpend) + float64(rec.ReplayedSpend)
+		}
+		if recovered+1e-9 < adopted.Spend {
+			rt.Close()
+			return fmt.Errorf("takeover: recovered spend %.6g < source frozen spend %.6g — refusing to under-count", recovered, adopted.Spend)
+		}
+		fmt.Printf("takeover invariant: recovered spend %.4g >= source frozen spend %.4g\n", recovered, adopted.Spend)
+	}
 	srv, err := server.New(server.Config{
-		Runtime:      rt,
-		Auth:         server.TokenAuth(maxStreams),
-		Heartbeat:    heartbeat,
-		ResumeWindow: resumeWindow,
-		ReplayBuffer: replayBuffer,
+		Runtime:           rt,
+		Auth:              server.TokenAuth(maxStreams),
+		Heartbeat:         heartbeat,
+		ResumeWindow:      resumeWindow,
+		ReplayBuffer:      replayBuffer,
+		RateLimit:         rateLimit,
+		MaxParkedSessions: maxParked,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "server: "+format+"\n", args...)
 		},
 	})
 	if err != nil {
 		return err
+	}
+	if walDir != "" {
+		// Adopt any spilled sessions (from a handoff or a plain drain with the
+		// same directory) so clients can Resume against this process.
+		if sp, err := durable.ReadSessions(walDir); err != nil {
+			fmt.Fprintf(os.Stderr, "session spill unreadable, clients will re-handshake: %v\n", err)
+		} else if sp != nil {
+			n, _ := srv.ImportSessions(sp)
+			if err := durable.RemoveSessions(walDir); err != nil {
+				fmt.Fprintf(os.Stderr, "session spill cleanup: %v\n", err)
+			}
+			fmt.Printf("adopted %d resumable sessions from spill\n", n)
+		}
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -86,16 +137,36 @@ func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindo
 		}
 	}
 
+	if ho.To != "" {
+		return handoffDrain(srv, rt, walDir, addr, ho, drainTimeout, budget > 0)
+	}
 	fmt.Printf("\ndraining (timeout %v) — new ingest refused, sessions told goodbye\n", drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	srv.Drain()
+	if walDir != "" {
+		// Park session cores instead of retiring them so they can be spilled
+		// beside the WAL below: a restart with the same -wal-dir adopts them
+		// and clients Resume instead of starting over.
+		srv.DrainForHandoff()
+	} else {
+		srv.Drain()
+	}
 	// CloseContext flushes in-flight windows through the WAL and cuts the
 	// final checkpoint; closing the answer bus also ends every session's
 	// delivery bridges.
 	closeErr := rt.CloseContext(drainCtx)
-	if waitErr := srv.Wait(drainCtx); waitErr != nil {
+	waitErr := srv.Wait(drainCtx)
+	if waitErr != nil {
 		fmt.Fprintf(os.Stderr, "drain timeout: remaining sessions force-closed\n")
+	}
+	if walDir != "" && closeErr == nil && waitErr == nil {
+		if sp := srv.ExportSessions(); len(sp.Sessions) > 0 {
+			if err := durable.WriteSessions(walDir, sp); err != nil {
+				fmt.Fprintf(os.Stderr, "session spill: %v\n", err)
+			} else {
+				fmt.Printf("spilled %d resumable sessions beside the WAL\n", len(sp.Sessions))
+			}
+		}
 	}
 
 	printTenantReport(srv, budget > 0)
@@ -103,6 +174,62 @@ func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindo
 		fmt.Printf("\ndurable state checkpointed to %s — restart with the same -wal-dir to resume\n", walDir)
 	}
 	return closeErr
+}
+
+// handoffDrain is the rolling-restart exit path: quiesce at a pane boundary,
+// spill the parked sessions beside the WAL, ship the whole frozen directory
+// to the takeover peer, and exit 0 once the peer has verified and acked it.
+// Any failure leaves the local directory authoritative — the operator
+// restarts this side instead.
+func handoffDrain(srv *server.Server, rt *runtime.Runtime, walDir, addr string, ho handoffOpts, drainTimeout time.Duration, withBudget bool) error {
+	fmt.Printf("\nhandoff drain (timeout %v) — freezing at a pane boundary, shipping partition to %s\n", drainTimeout, ho.To)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	srv.DrainForHandoff()
+	if err := srv.Wait(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "handoff drain timeout: remaining sessions force-closed\n")
+	}
+	if err := rt.Freeze(ctx); err != nil {
+		return fmt.Errorf("handoff freeze: %w (durable state intact in %s)", err, walDir)
+	}
+	var spend float64
+	if b := rt.Snapshot().Budget; b != nil {
+		spend = float64(b.Spent)
+	}
+	sp := srv.ExportSessions()
+	if err := durable.WriteSessions(walDir, sp); err != nil {
+		return fmt.Errorf("handoff spill: %w", err)
+	}
+	conn, err := net.Dial("tcp", ho.To)
+	if err != nil {
+		return fmt.Errorf("handoff dial: %w (durable state intact in %s)", err, walDir)
+	}
+	defer conn.Close()
+	sum, err := server.SendHandoff(conn, walDir, ho.Token, addr, len(sp.Sessions), spend, server.HandoffCrashNone)
+	if err != nil {
+		return fmt.Errorf("handoff: %w (durable state intact in %s)", err, walDir)
+	}
+	fmt.Printf("handoff complete: %d files (%d bytes), %d sessions, frozen spend %.4g — peer acked\n",
+		sum.Files, sum.Bytes, sum.Sessions, sum.Spend)
+	printTenantReport(srv, withBudget)
+	return nil
+}
+
+// acceptHandoff accepts exactly one inbound handoff on addr and stages it
+// into walDir.
+func acceptHandoff(addr, walDir, token string) (server.HandoffSummary, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return server.HandoffSummary{}, err
+	}
+	fmt.Printf("takeover: awaiting partition handoff on %s\n", l.Addr())
+	conn, err := l.Accept()
+	l.Close()
+	if err != nil {
+		return server.HandoffSummary{}, err
+	}
+	defer conn.Close()
+	return server.ReceiveHandoff(conn, walDir, token)
 }
 
 func quotaString(n int) string {

@@ -1,0 +1,145 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Session spill: parked session cores written beside the WAL on drain so a
+// client's Resume survives the process, not just the connection. The file
+// reuses the checkpoint framing (magic | len u32 | crc u32 | JSON) and the
+// same tmp+fsync+rename discipline; replay-ring answers are carried as
+// opaque wire-encoded bytes so this package stays below internal/wire in
+// the import graph.
+//
+// The spill is a snapshot of one drain, not a log: the next process reads
+// it once, adopts the sessions, and removes it. A torn or CRC-corrupt spill
+// is reported as an error — the caller decides whether lost sessions abort
+// a takeover (they never lose spend; clients fall back to a fresh handshake
+// with an explicit unknown-extent gap).
+
+const (
+	sessMagic = "PPMSESS\n"
+	// SessionSpillFile is the spill's file name inside a durable-state
+	// directory.
+	SessionSpillFile = "sessions.spill"
+)
+
+// SessionSpill is every parked session core exported at drain.
+type SessionSpill struct {
+	Sessions []SessionRecord `json:"sessions"`
+}
+
+// SessionRecord is one parked session: its resume token, owning tenant, and
+// per-subscription replay state.
+type SessionRecord struct {
+	// Token is the session token a reconnecting client presents in Resume.
+	Token string `json:"token"`
+	// Tenant is the authenticated tenant the session belongs to.
+	Tenant string `json:"tenant"`
+	// ParkedAtMillis orders evictions across a restart (oldest first).
+	ParkedAtMillis int64 `json:"parked_at_millis"`
+	// Subs is the session's subscription set.
+	Subs []SessionSub `json:"subs,omitempty"`
+}
+
+// SessionSub is one subscription's replay state.
+type SessionSub struct {
+	// ID is the client-chosen subscription id.
+	ID uint64 `json:"id"`
+	// Query is the resolved runtime query name (namespaced for tenant
+	// registrations), so the adopting process re-subscribes to exactly the
+	// stream of answers the old process was bridging.
+	Query string `json:"query"`
+	// Head is the highest answer seq pushed into the replay ring; Cursor is
+	// the last seq delivered to the client.
+	Head   uint64 `json:"head"`
+	Cursor uint64 `json:"cursor"`
+	// RingStart is the seq of Ring[0]; Ring holds the retained undelivered
+	// answers for seqs [RingStart, Head], wire-encoded (internal/wire
+	// Answer payloads), oldest first.
+	RingStart uint64   `json:"ring_start,omitempty"`
+	Ring      [][]byte `json:"ring,omitempty"`
+}
+
+// WriteSessions persists sp as dir's session spill, replacing any previous
+// spill.
+func WriteSessions(dir string, sp *SessionSpill) error {
+	payload, err := json.Marshal(sp)
+	if err != nil {
+		return fmt.Errorf("durable: marshal session spill: %w", err)
+	}
+	var hdr [16]byte
+	copy(hdr[:], sessMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(payload))
+	final := filepath.Join(dir, SessionSpillFile)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: session spill: %w", err)
+	}
+	if _, err = f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("durable: session spill: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("durable: session spill: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// ReadSessions loads dir's session spill. A missing spill is (nil, nil) —
+// the common cold-start case; a torn or corrupt spill is an error.
+func ReadSessions(dir string) (*SessionSpill, error) {
+	data, err := os.ReadFile(filepath.Join(dir, SessionSpillFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 16 || string(data[:8]) != sessMagic {
+		return nil, fmt.Errorf("durable: %s: not a session spill", SessionSpillFile)
+	}
+	length := binary.LittleEndian.Uint32(data[8:])
+	crc := binary.LittleEndian.Uint32(data[12:])
+	if int(length) != len(data)-16 {
+		return nil, fmt.Errorf("durable: %s: torn session spill", SessionSpillFile)
+	}
+	payload := data[16:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("durable: %s: session spill CRC mismatch", SessionSpillFile)
+	}
+	var sp SessionSpill
+	if err := json.Unmarshal(payload, &sp); err != nil {
+		return nil, fmt.Errorf("durable: %s: %w", SessionSpillFile, err)
+	}
+	return &sp, nil
+}
+
+// RemoveSessions deletes dir's session spill once its sessions have been
+// adopted (missing is fine).
+func RemoveSessions(dir string) error {
+	err := os.Remove(filepath.Join(dir, SessionSpillFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}

@@ -312,8 +312,11 @@ type Runtime struct {
 
 	// closing arbitrates which CloseContext call runs the close sequence;
 	// done closes when that sequence — drain, flush, bus shutdown — has
-	// completed, and closeErr is valid after that.
+	// completed, and closeErr is valid after that. noFlush makes the drain
+	// skip the trailing-window flush (Freeze): open windows travel in the
+	// final checkpoint's windower state instead of publishing as partials.
 	closing  atomic.Bool
+	noFlush  atomic.Bool
 	done     chan struct{}
 	closeErr error
 }
@@ -691,45 +694,76 @@ func (rt *Runtime) CloseContext(ctx context.Context) error {
 	if !rt.closing.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
-	go func() {
-		rt.mu.Lock()
-		rt.closed = true
-		rt.mu.Unlock()
-		close(rt.ckptStop)
-		for _, sh := range rt.shards {
-			close(sh.in)
-		}
-		rt.wg.Wait()
-		rt.ckptWG.Wait()
-		for _, sh := range rt.shards {
-			if sh.err != nil {
-				rt.closeErr = fmt.Errorf("runtime: shard %d: %w", sh.id, sh.err)
-				break
-			}
-		}
-		if rt.durLog != nil {
-			// Graceful drains end with a synchronous final checkpoint (the
-			// shard goroutines have exited, so the export sees the complete
-			// flushed state); a failed or crash-injected run skips it — its
-			// durable state is exactly what recovery should see.
-			if rt.closeErr == nil && !rt.durLog.Crashed() {
-				if err := rt.finalCheckpoint(); err != nil && err != durable.ErrCrashed {
-					rt.closeErr = fmt.Errorf("runtime: final checkpoint: %w", err)
-				}
-			}
-			if err := rt.durLog.Close(); err != nil && rt.closeErr == nil {
-				rt.closeErr = fmt.Errorf("runtime: wal close: %w", err)
-			}
-		}
-		rt.bus.close()
-		close(rt.done)
-	}()
+	go rt.closeSequence()
 	select {
 	case <-rt.done:
 		return rt.closeErr
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Freeze is the partition-handoff variant of CloseContext: it stops
+// ingestion and shuts the runtime down at per-stream pane boundaries
+// WITHOUT flushing trailing partial windows. Open-window state (pending
+// events, pane tally rings, watermarks) instead travels in the final
+// checkpoint's windower serialization, so a peer process recovering from
+// the same durable directory resumes those windows exactly where they
+// stopped — no partial windows are published, no spend is minted or lost
+// at the boundary. Requires Config.Durability; the frozen directory is the
+// handoff payload.
+func (rt *Runtime) Freeze(ctx context.Context) error {
+	if rt.durLog == nil {
+		return ErrDurabilityDisabled
+	}
+	if !rt.closing.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	rt.noFlush.Store(true)
+	go rt.closeSequence()
+	select {
+	case <-rt.done:
+		return rt.closeErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// closeSequence is the single close path CloseContext and Freeze share:
+// stop ingest, drain the shards, cut the final checkpoint, shut the WAL and
+// the bus down.
+func (rt *Runtime) closeSequence() {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.mu.Unlock()
+	close(rt.ckptStop)
+	for _, sh := range rt.shards {
+		close(sh.in)
+	}
+	rt.wg.Wait()
+	rt.ckptWG.Wait()
+	for _, sh := range rt.shards {
+		if sh.err != nil {
+			rt.closeErr = fmt.Errorf("runtime: shard %d: %w", sh.id, sh.err)
+			break
+		}
+	}
+	if rt.durLog != nil {
+		// Graceful drains end with a synchronous final checkpoint (the
+		// shard goroutines have exited, so the export sees the complete
+		// flushed state); a failed or crash-injected run skips it — its
+		// durable state is exactly what recovery should see.
+		if rt.closeErr == nil && !rt.durLog.Crashed() {
+			if err := rt.finalCheckpoint(); err != nil && err != durable.ErrCrashed {
+				rt.closeErr = fmt.Errorf("runtime: final checkpoint: %w", err)
+			}
+		}
+		if err := rt.durLog.Close(); err != nil && rt.closeErr == nil {
+			rt.closeErr = fmt.Errorf("runtime: wal close: %w", err)
+		}
+	}
+	rt.bus.close()
+	close(rt.done)
 }
 
 // Done returns a channel that closes once the close sequence — drain, flush,

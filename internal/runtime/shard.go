@@ -225,6 +225,13 @@ func (s *shard) run() {
 			return
 		}
 	}
+	if s.rt.noFlush.Load() {
+		// Freeze: leave trailing windows open. Their pending events and
+		// pane rings travel in the final checkpoint's windower state for
+		// the adopting process to resume — flushing here would publish
+		// partial windows the handoff peer then could not continue.
+		return
+	}
 	keys := make([]string, 0, len(s.streams))
 	for k := range s.streams {
 		keys = append(keys, k)

@@ -1,59 +1,80 @@
 package server
 
 import (
+	"context"
 	"net"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"patterndp/internal/durable"
 	"patterndp/internal/faultnet"
+	"patterndp/internal/runtime"
 )
 
 // TestChaosSoak runs the serving layer over a fault-injecting transport —
 // injected latency, chunked writes, and periodic forced resets of every live
 // connection — while a feeder streams windows and a resilient subscriber
-// rides the reconnect/resume machinery. The invariant under test is
-// exactly-once-or-explicit-gap: within each session epoch (delimited by
-// synthetic unknown-extent gap markers), every sequence number up to the
-// highest observed is either delivered exactly once or covered by exactly
-// one explicit gap marker. Silent loss and duplicate delivery both fail.
+// rides the reconnect/resume machinery. Halfway through the soak the serving
+// process performs a live rolling restart: it drains, freezes, hands its
+// partition and spilled sessions to a successor, and the clients swing over
+// mid-stream. The invariant under test is exactly-once-or-explicit-gap:
+// within each session epoch (delimited by synthetic unknown-extent gap
+// markers), every sequence number up to the highest observed is either
+// delivered exactly once or covered by exactly one explicit gap marker —
+// including straight across the handoff boundary. Silent loss and duplicate
+// delivery both fail.
 func TestChaosSoak(t *testing.T) {
 	soak := 3 * time.Second
 	if testing.Short() {
 		soak = time.Second
 	}
-	rt := newTestRuntime(t, 0)
-	defer rt.Close()
+	dirA, dirB := t.TempDir(), filepath.Join(t.TempDir(), "b")
+	rtA := newDurableTestRuntime(t, dirA, 1_000_000)
+	t.Cleanup(func() { rtA.Close() })
 
-	mem := NewMemListener()
-	fl := faultnet.Wrap(mem, faultnet.Config{
+	faultCfg := faultnet.Config{
 		Seed:     42,
 		DelayP:   0.05,
 		MaxDelay: 2 * time.Millisecond,
 		ChunkP:   0.2,
-	})
+	}
 	cfg := Config{
-		Runtime:      rt,
 		Auth:         TokenAuth(0),
 		Heartbeat:    100 * time.Millisecond,
 		ResumeWindow: 10 * time.Second, // park across every injected reset
 		ReplayBuffer: 8,                // small enough to force real gaps
 	}
-	s, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
+	// startNode serves rt behind a fresh fault-injecting listener.
+	startNode := func(rt *runtime.Runtime) (*Server, *MemListener, *faultnet.Listener) {
+		ncfg := cfg
+		ncfg.Runtime = rt
+		s, err := New(ncfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMemListener()
+		f := faultnet.Wrap(m, faultCfg)
+		served := make(chan struct{})
+		go func() {
+			defer close(served)
+			s.Serve(f)
+		}()
+		t.Cleanup(func() {
+			s.Close()
+			<-served
+		})
+		return s, m, f
 	}
-	served := make(chan struct{})
-	go func() {
-		defer close(served)
-		s.Serve(fl)
-	}()
-	defer func() {
-		s.Close()
-		<-served
-	}()
+	srvA, memA, flA := startNode(rtA)
 
-	dialer := func() (net.Conn, error) { return mem.Dial() }
+	// Failover dialer: clients follow whatever listener is current.
+	var mem atomic.Pointer[MemListener]
+	var fl atomic.Pointer[faultnet.Listener]
+	mem.Store(memA)
+	fl.Store(flA)
+	dialer := func() (net.Conn, error) { return mem.Load().Dial() }
 	ccfg := ClientConfig{
 		Token:          "alice",
 		Dialer:         dialer,
@@ -146,12 +167,67 @@ func TestChaosSoak(t *testing.T) {
 		}
 	}()
 
-	// Chaos driver: reset every live connection on a steady cadence.
+	// Chaos driver: reset every live connection on a steady cadence, and at
+	// the halfway mark perform one live handoff to a successor process while
+	// the feeder and subscriber keep running.
 	var resets int
+	var srvB *Server
 	deadline := time.Now().Add(soak)
+	handoffAt := time.Now().Add(soak / 2)
 	for time.Now().Before(deadline) {
 		time.Sleep(150 * time.Millisecond)
-		resets += fl.ResetAll()
+		resets += fl.Load().ResetAll()
+		if srvB != nil || time.Now().Before(handoffAt) {
+			continue
+		}
+		// Rolling restart under chaos: A drains and freezes at a pane
+		// boundary, spills parked sessions, ships the partition to B; B
+		// recovers, adopts the sessions, and the dialer swings over. The
+		// collector never pauses — the tiling invariant must hold straight
+		// across the boundary.
+		hctx, hcancel := context.WithTimeout(context.Background(), 15*time.Second)
+		srvA.DrainForHandoff()
+		if err := srvA.Wait(hctx); err != nil {
+			t.Fatalf("drain wait: %v", err)
+		}
+		if err := rtA.Freeze(hctx); err != nil {
+			t.Fatalf("freeze: %v", err)
+		}
+		hcancel()
+		frozen := frozenSpend(rtA)
+		sp := srvA.ExportSessions()
+		if err := durable.WriteSessions(dirA, sp); err != nil {
+			t.Fatal(err)
+		}
+		sendErr, _, recvErr := transferHandoff(t, dirA, dirB, len(sp.Sessions), frozen, HandoffCrashNone)
+		if sendErr != nil || recvErr != nil {
+			t.Fatalf("handoff: send %v recv %v", sendErr, recvErr)
+		}
+		rtB := newDurableTestRuntime(t, dirB, 1_000_000)
+		t.Cleanup(func() { rtB.Close() })
+		if got := recoveredSpend(rtB); got+1e-9 < frozen {
+			t.Fatalf("recovered spend %g < frozen %g", got, frozen)
+		}
+		var memB *MemListener
+		var flB *faultnet.Listener
+		srvB, memB, flB = startNode(rtB)
+		spill, err := durable.ReadSessions(dirB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spill != nil {
+			if _, err := srvB.ImportSessions(spill); err != nil {
+				t.Fatal(err)
+			}
+			if err := durable.RemoveSessions(dirB); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mem.Store(memB)
+		fl.Store(flB)
+	}
+	if srvB == nil {
+		t.Fatal("soak ended before the mid-soak handoff fired")
 	}
 	close(stopFeeder)
 	fed := <-feederDone
@@ -191,6 +267,9 @@ func TestChaosSoak(t *testing.T) {
 	if answers.Load() == 0 {
 		t.Fatal("no answers delivered during soak")
 	}
+	if srvB.Stats().SessionsImported == 0 {
+		t.Error("successor adopted no spilled sessions during the handoff")
+	}
 
 	// The invariant: within every epoch, delivered ∪ gapped tiles [1, max].
 	for i, ep := range epochs {
@@ -200,8 +279,8 @@ func TestChaosSoak(t *testing.T) {
 			}
 		}
 	}
-	ts := tenantStats(t, s, "alice")
-	t.Logf("soak: %d resets, %d reconnects (subscriber) / %d (feeder), %d answers, %d gap markers, %d epochs; tenant: %d replayed, %d resumes, %d gaps sent, %d dropped, %d write timeouts",
-		resets, subscriber.Reconnects(), feeder.Reconnects(), answers.Load(), gapMarkers.Load(), len(epochs),
+	ts := tenantStats(t, srvB, "alice")
+	t.Logf("soak: %d resets, %d reconnects (subscriber) / %d (feeder), %d answers, %d gap markers, %d epochs, %d sessions adopted; tenant: %d replayed, %d resumes, %d gaps sent, %d dropped, %d write timeouts",
+		resets, subscriber.Reconnects(), feeder.Reconnects(), answers.Load(), gapMarkers.Load(), len(epochs), srvB.Stats().SessionsImported,
 		ts.AnswersReplayed, ts.Resumes, ts.GapsSent, ts.AnswersDropped, ts.WriteTimeouts)
 }

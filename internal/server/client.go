@@ -134,6 +134,9 @@ func (s *clientSubState) terminate() {
 type RemoteError struct {
 	Code uint8
 	Msg  string
+	// RetryAfterMillis is the server's hint for when to retry a
+	// CodeThrottled refusal (0 elsewhere).
+	RetryAfterMillis uint64
 }
 
 func (e *RemoteError) Error() string {
@@ -662,7 +665,7 @@ func (c *Client) call(t wire.Type, req uint64, payload []byte) (wire.Ack, error)
 			return wire.Ack{}, res.err
 		}
 		if res.werr != nil {
-			return wire.Ack{}, &RemoteError{Code: res.werr.Code, Msg: res.werr.Msg}
+			return wire.Ack{}, &RemoteError{Code: res.werr.Code, Msg: res.werr.Msg, RetryAfterMillis: res.werr.RetryAfterMillis}
 		}
 		return res.ack, nil
 	case <-timeout:

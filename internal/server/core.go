@@ -20,17 +20,21 @@ import (
 // cursor surfaces to the subscriber as an explicit Gap marker answer, never
 // as silent loss.
 type subState struct {
-	id  uint64
-	sub *runtime.Subscription
+	id    uint64
+	query string // resolved runtime query name ("" = subscribe-all)
+	sub   *runtime.Subscription
 
 	mu     sync.Mutex
 	buf    []wire.Answer // ring; seq s lives at buf[(s-1)%len]
 	head   uint64        // highest seq pushed, 0 = none
 	cursor uint64        // next seq to deliver
+	base   uint64        // lowest seq actually retained (spill import may
+	// restore fewer entries than the ring could hold; seqs below base are
+	// gone and surface as a Gap, exactly like ring overflow)
 }
 
-func newSubState(id uint64, sub *runtime.Subscription, ringCap int) *subState {
-	return &subState{id: id, sub: sub, buf: make([]wire.Answer, ringCap), cursor: 1}
+func newSubState(id uint64, query string, sub *runtime.Subscription, ringCap int) *subState {
+	return &subState{id: id, query: query, sub: sub, buf: make([]wire.Answer, ringCap), cursor: 1, base: 1}
 }
 
 // push assigns the next sequence number and stores the answer, evicting the
@@ -67,10 +71,14 @@ func (st *subState) next() (wire.Answer, bool) {
 
 // oldest is the lowest sequence number still in the ring. Callers hold mu.
 func (st *subState) oldest() uint64 {
-	if st.head <= uint64(len(st.buf)) {
-		return 1
+	o := uint64(1)
+	if st.head > uint64(len(st.buf)) {
+		o = st.head - uint64(len(st.buf)) + 1
 	}
-	return st.head - uint64(len(st.buf)) + 1
+	if st.base > o {
+		o = st.base
+	}
+	return o
 }
 
 // rewind moves the cursor to the first sequence number after lastSeq (clamped
@@ -99,6 +107,7 @@ type sessionCore struct {
 	subs     map[uint64]*subState
 	attached *session    // current connection, nil while parked
 	reap     *time.Timer // pending expiry while parked
+	parkedAt time.Time   // when the core last parked (eviction order)
 	retired  bool
 
 	bridges sync.WaitGroup
@@ -169,7 +178,8 @@ func (c *sessionCore) adopt(ss *session) bool {
 // detach releases the core when ss's connection ends. An orderly goodbye (or
 // a stopping server, a disabled resume window, or an empty core) retires the
 // state immediately; otherwise it parks for the resume window awaiting a
-// Resume, then expires.
+// Resume, then expires. A server draining for handoff parks even though it is
+// stopping — the parked state is about to be spilled for the takeover peer.
 func (c *sessionCore) detach(ss *session, orderly bool) {
 	c.mu.Lock()
 	if c.attached != ss || c.retired {
@@ -178,27 +188,30 @@ func (c *sessionCore) detach(ss *session, orderly bool) {
 	}
 	c.attached = nil
 	window := c.srv.resumeWindow()
-	if orderly || window <= 0 || c.srv.stopping() || len(c.subs) == 0 {
+	if orderly || window <= 0 || (c.srv.stopping() && !c.srv.handingOff()) || len(c.subs) == 0 {
 		c.mu.Unlock()
 		c.retireIf(false)
 		return
 	}
+	c.parkedAt = time.Now()
 	c.reap = time.AfterFunc(window, func() {
 		c.srv.coresExpired.Inc()
 		c.retireIf(true)
 	})
 	c.mu.Unlock()
+	c.srv.enforceParkCaps(c.tenant)
 }
 
 // retireIf tears the core down exactly once: every runtime subscription is
 // cancelled (ending its bridge), the token is dropped, and the bridges are
 // awaited. With onlyIfDetached it is the reap path, which must lose the race
-// against a resume that re-attached the core.
-func (c *sessionCore) retireIf(onlyIfDetached bool) {
+// against a resume that re-attached the core. It reports whether this call
+// performed the retire.
+func (c *sessionCore) retireIf(onlyIfDetached bool) bool {
 	c.mu.Lock()
 	if c.retired || (onlyIfDetached && c.attached != nil) {
 		c.mu.Unlock()
-		return
+		return false
 	}
 	c.retired = true
 	if c.reap != nil {
@@ -213,11 +226,14 @@ func (c *sessionCore) retireIf(onlyIfDetached bool) {
 	}
 	c.srv.dropCore(c.token)
 	c.bridges.Wait()
+	return true
 }
 
 // addSub installs a subscription ring and starts its bridge. dup reports an
-// id collision; ok is false when the core has been retired.
-func (c *sessionCore) addSub(id uint64, sub *runtime.Subscription) (ok, dup bool) {
+// id collision; ok is false when the core has been retired. query is the
+// resolved runtime query name, recorded so a spilled session can re-subscribe
+// in the adopting process.
+func (c *sessionCore) addSub(id uint64, query string, sub *runtime.Subscription) (ok, dup bool) {
 	c.mu.Lock()
 	if c.retired {
 		c.mu.Unlock()
@@ -227,7 +243,7 @@ func (c *sessionCore) addSub(id uint64, sub *runtime.Subscription) (ok, dup bool
 		c.mu.Unlock()
 		return false, true
 	}
-	st := newSubState(id, sub, c.srv.replayBuffer())
+	st := newSubState(id, query, sub, c.srv.replayBuffer())
 	c.subs[id] = st
 	c.bridges.Add(1)
 	c.mu.Unlock()

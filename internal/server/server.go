@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"strings"
@@ -97,6 +98,20 @@ type Config struct {
 	// ResumeWindow is how long a disconnected session's replay state lingers
 	// for a Resume before it is reaped. 0 = 30s; negative disables resume.
 	ResumeWindow time.Duration
+	// MaxParkedSessions caps how many disconnected sessions may hold replay
+	// state at once, server-wide. Parking one more evicts the
+	// longest-parked core (counted in SessionsEvicted); its client falls
+	// back to a fresh handshake. 0 = unlimited.
+	MaxParkedSessions int
+	// MaxParkedPerTenant is the same cap applied per tenant, so one
+	// flapping tenant cannot consume the whole parked budget. 0 =
+	// unlimited.
+	MaxParkedPerTenant int
+	// RateLimit caps each tenant's ingest rate in events per second (token
+	// bucket with one second of burst). Refused batches get CodeThrottled
+	// with a retry-after hint; nothing is partially admitted. 0 =
+	// unlimited.
+	RateLimit float64
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -111,14 +126,17 @@ type Server struct {
 	tenants   map[string]*tenantState
 	cores     map[string]*sessionCore // session token → durable state
 	draining  bool
+	handoff   bool // draining for a handoff: park cores instead of retiring
 	closed    bool
 
 	wg sync.WaitGroup
 
-	connsOpen    metrics.Gauge
-	connsTotal   metrics.Counter
-	authFailures metrics.Counter
-	coresExpired metrics.Counter
+	connsOpen     metrics.Gauge
+	connsTotal    metrics.Counter
+	authFailures  metrics.Counter
+	coresExpired  metrics.Counter
+	coresEvicted  metrics.Counter
+	coresImported metrics.Counter
 }
 
 // heartbeat is the resolved liveness interval (0 = disabled).
@@ -140,6 +158,14 @@ func (s *Server) stopping() bool {
 	return s.draining || s.closed
 }
 
+// handingOff reports whether the drain in progress is a handoff drain, in
+// which case detaching sessions park (to be spilled) instead of retiring.
+func (s *Server) handingOff() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handoff && !s.closed
+}
+
 // tenantState is the server-wide per-tenant aggregate, shared by all of the
 // tenant's sessions.
 type tenantState struct {
@@ -147,6 +173,12 @@ type tenantState struct {
 
 	mu      sync.Mutex
 	streams map[string]struct{} // distinct namespaced stream keys ingested
+
+	// Ingest token bucket (Config.RateLimit): rlTokens may go one batch
+	// into debt, so an oversized batch is admitted once and then throttled
+	// until the debt drains. Guarded by mu.
+	rlTokens float64
+	rlLast   time.Time
 
 	sessions        metrics.Gauge
 	eventsIn        metrics.Counter
@@ -156,6 +188,29 @@ type tenantState struct {
 	resumes         metrics.Counter
 	gapsSent        metrics.Counter
 	writeTimeouts   metrics.Counter
+	throttled       metrics.Counter
+	sessionsEvicted metrics.Counter
+}
+
+// admitRate charges n events against the tenant's token bucket at rate
+// events/s. When the bucket is in debt the batch is refused and retryAfter
+// says how long until it is positive again.
+func (ts *tenantState) admitRate(n int, rate float64, now time.Time) (retryAfter time.Duration, ok bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	burst := rate // one second of burst
+	if ts.rlLast.IsZero() {
+		ts.rlTokens = burst
+	} else if dt := now.Sub(ts.rlLast).Seconds(); dt > 0 {
+		ts.rlTokens = math.Min(burst, ts.rlTokens+dt*rate)
+	}
+	ts.rlLast = now
+	if ts.rlTokens <= 0 {
+		wait := time.Duration((1 - ts.rlTokens) / rate * float64(time.Second))
+		return max(wait, time.Millisecond), false
+	}
+	ts.rlTokens -= float64(n)
+	return 0, true
 }
 
 // admitStreams checks the tenant's stream cap against a batch's distinct
@@ -292,12 +347,47 @@ func (s *Server) tenantFor(t Tenant) *tenantState {
 // the WAL and cutting the final checkpoint, which also ends every answer
 // bridge) and then Wait.
 func (s *Server) Drain() {
+	if !s.beginDrain(false, "drain") {
+		return
+	}
+	// Parked cores have no client to resume them through a shutdown.
+	for _, c := range s.coreList() {
+		c.retireIf(true)
+	}
+}
+
+// DrainForHandoff begins a handoff drain: like Drain, but session state is
+// being shipped to a takeover peer, so parked cores are kept (for
+// ExportSessions) rather than retired, detaching sessions park rather than
+// retire, and live connections are closed once told goodbye — their clients
+// are expected to reconnect-and-resume against the peer. Idempotent against
+// itself; a plain Drain that got there first wins.
+func (s *Server) DrainForHandoff() {
+	if !s.beginDrain(true, "handoff") {
+		return
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	for _, ss := range sessions {
+		ss.close()
+	}
+}
+
+// beginDrain is the shared head of Drain and DrainForHandoff: stop accepting,
+// reject mutating requests, and say goodbye to every live session. It reports
+// false when a drain had already begun.
+func (s *Server) beginDrain(handoff bool, reason string) bool {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return
+		return false
 	}
 	s.draining = true
+	s.handoff = handoff
 	ls := make([]net.Listener, 0, len(s.listeners))
 	for l := range s.listeners {
 		ls = append(ls, l)
@@ -311,11 +401,59 @@ func (s *Server) Drain() {
 		l.Close()
 	}
 	for _, ss := range sessions {
-		ss.goodbye("drain")
+		ss.goodbye(reason)
 	}
-	// Parked cores have no client to resume them through a shutdown.
-	for _, c := range s.coreList() {
-		c.retireIf(true)
+	return true
+}
+
+// enforceParkCaps evicts the longest-parked cores while the just-parked
+// tenant exceeds MaxParkedPerTenant or the server exceeds MaxParkedSessions.
+// Eviction retires the core — its client falls back to a fresh handshake with
+// an explicit unknown-extent gap, never silent loss.
+func (s *Server) enforceParkCaps(ts *tenantState) {
+	global, perTenant := s.cfg.MaxParkedSessions, s.cfg.MaxParkedPerTenant
+	if global <= 0 && perTenant <= 0 {
+		return
+	}
+	for {
+		var parked, tenantParked int
+		var oldest, tenantOldest *sessionCore
+		var oldestAt, tenantOldestAt time.Time
+		for _, c := range s.coreList() {
+			c.mu.Lock()
+			isParked := c.attached == nil && !c.retired && c.reap != nil
+			at := c.parkedAt
+			c.mu.Unlock()
+			if !isParked {
+				continue
+			}
+			parked++
+			if oldest == nil || at.Before(oldestAt) {
+				oldest, oldestAt = c, at
+			}
+			if c.tenant == ts {
+				tenantParked++
+				if tenantOldest == nil || at.Before(tenantOldestAt) {
+					tenantOldest, tenantOldestAt = c, at
+				}
+			}
+		}
+		victim := (*sessionCore)(nil)
+		switch {
+		case perTenant > 0 && tenantParked > perTenant:
+			victim = tenantOldest
+		case global > 0 && parked > global:
+			victim = oldest
+		}
+		if victim == nil {
+			return
+		}
+		// A victim that re-attached between the scan and the retire is
+		// simply not counted; the rescan sees it as live.
+		if victim.retireIf(true) {
+			s.coresEvicted.Inc()
+			victim.tenant.sessionsEvicted.Inc()
+		}
 	}
 }
 
@@ -408,6 +546,12 @@ type TenantStats struct {
 	// WriteTimeouts counts frame writes abandoned at the write deadline
 	// (each closes its session: the frame may be torn on the wire).
 	WriteTimeouts int64
+	// Throttled counts ingest batches refused by the tenant's events/s
+	// rate limit (CodeThrottled).
+	Throttled int64
+	// SessionsEvicted counts this tenant's parked sessions evicted by the
+	// parked-session caps before their resume window ended.
+	SessionsEvicted int64
 	// Spend is the tenant's live budget position (zero value when the
 	// runtime serves without accounting or the tenant has no live streams).
 	Spend account.NamespaceSpend
@@ -426,6 +570,12 @@ type Stats struct {
 	// SessionsExpired counts parked sessions reaped at the end of the
 	// resume window without a Resume.
 	SessionsExpired int64
+	// SessionsEvicted counts parked sessions evicted by the
+	// MaxParkedSessions / MaxParkedPerTenant caps.
+	SessionsEvicted int64
+	// SessionsImported counts sessions adopted from a handoff spill
+	// (ImportSessions), available for Resume against this process.
+	SessionsImported int64
 	// Tenants holds one entry per tenant seen, sorted by id.
 	Tenants []TenantStats
 }
@@ -438,10 +588,12 @@ func (s *Server) Stats() Stats {
 		spend[ns.Namespace] = ns
 	}
 	st := Stats{
-		ConnsOpen:       s.connsOpen.Load(),
-		ConnsTotal:      s.connsTotal.Load(),
-		AuthFailures:    s.authFailures.Load(),
-		SessionsExpired: s.coresExpired.Load(),
+		ConnsOpen:        s.connsOpen.Load(),
+		ConnsTotal:       s.connsTotal.Load(),
+		AuthFailures:     s.authFailures.Load(),
+		SessionsExpired:  s.coresExpired.Load(),
+		SessionsEvicted:  s.coresEvicted.Load(),
+		SessionsImported: s.coresImported.Load(),
 	}
 	for _, c := range s.coreList() {
 		c.mu.Lock()
@@ -466,6 +618,8 @@ func (s *Server) Stats() Stats {
 			Resumes:         ts.resumes.Load(),
 			GapsSent:        ts.gapsSent.Load(),
 			WriteTimeouts:   ts.writeTimeouts.Load(),
+			Throttled:       ts.throttled.Load(),
+			SessionsEvicted: ts.sessionsEvicted.Load(),
 			Spend:           spend[id],
 		})
 	}

@@ -277,6 +277,13 @@ func (ss *session) handleIngest(payload []byte) bool {
 		ss.sendError(in.Req, wire.CodeDraining, "server draining")
 		return true
 	}
+	if rate := ss.srv.cfg.RateLimit; rate > 0 {
+		if wait, ok := ss.tenant.admitRate(len(in.Events), rate, time.Now()); !ok {
+			ss.tenant.throttled.Inc()
+			ss.sendThrottled(in.Req, fmt.Sprintf("rate limit %g events/s exceeded", rate), wait)
+			return true
+		}
+	}
 	// Namespace every event's stream key under the tenant before the batch
 	// reaches the shared runtime.
 	keys := make(map[string]struct{})
@@ -316,14 +323,17 @@ func (ss *session) handleSubscribe(payload []byte) bool {
 	}
 	rt := ss.srv.cfg.Runtime
 	var sub *runtime.Subscription
-	if req.Query == "" {
-		sub, err = rt.Subscribe("")
-	} else {
+	resolved := ""
+	if req.Query != "" {
 		// Tenant-registered names shadow shared names.
-		sub, err = rt.Subscribe(ss.prefix + req.Query)
+		resolved = ss.prefix + req.Query
+		sub, err = rt.Subscribe(resolved)
 		if err != nil && errorsIsUnknownQuery(err) {
-			sub, err = rt.Subscribe(req.Query)
+			resolved = req.Query
+			sub, err = rt.Subscribe(resolved)
 		}
+	} else {
+		sub, err = rt.Subscribe("")
 	}
 	if err != nil {
 		code := wire.CodeInternal
@@ -333,7 +343,7 @@ func (ss *session) handleSubscribe(payload []byte) bool {
 		ss.sendError(req.Req, code, err.Error())
 		return true
 	}
-	ok, dup := c.addSub(req.ID, sub)
+	ok, dup := c.addSub(req.ID, resolved, sub)
 	if !ok {
 		sub.Cancel()
 		if dup {
@@ -493,6 +503,14 @@ func (ss *session) sendAck(req, n uint64) bool {
 
 func (ss *session) sendError(req uint64, code uint8, msg string) {
 	ss.writeFrame(wire.TError, wire.AppendError(nil, wire.Error{Req: req, Code: code, Msg: msg}))
+}
+
+// sendThrottled is a CodeThrottled error carrying the retry-after hint.
+func (ss *session) sendThrottled(req uint64, msg string, wait time.Duration) {
+	ss.writeFrame(wire.TError, wire.AppendError(nil, wire.Error{
+		Req: req, Code: wire.CodeThrottled, Msg: msg,
+		RetryAfterMillis: uint64(max(wait/time.Millisecond, 1)),
+	}))
 }
 
 // goodbye announces an orderly server-side close (drain) without tearing the

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"patterndp/internal/durable"
+	"patterndp/internal/wire"
+)
+
+// Session spill: exporting parked session cores at the end of a handoff
+// drain, and importing them in the takeover process, so a client's Resume
+// token survives the process it was minted by. The spill rides in the same
+// durable directory as the WAL and checkpoints (durable.WriteSessions) and is
+// shipped to the peer with the rest of the directory by SendHandoff.
+
+// export captures one subscription's replay state. The ring must be
+// quiescent: call only after the runtime has frozen (bridges ended).
+func (st *subState) export() durable.SessionSub {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := durable.SessionSub{ID: st.id, Query: st.query, Head: st.head, Cursor: st.cursor}
+	if st.head > 0 {
+		from := st.oldest()
+		out.RingStart = from
+		out.Ring = make([][]byte, 0, st.head-from+1)
+		for s := from; s <= st.head; s++ {
+			out.Ring = append(out.Ring, wire.AppendAnswer(nil, st.buf[(s-1)%uint64(len(st.buf))]))
+		}
+	}
+	return out
+}
+
+// ExportSessions snapshots every live session core — parked or still
+// formally attached (its client will reconnect against the peer) — for a
+// handoff spill. Call after DrainForHandoff and Runtime.Freeze, when every
+// bridge has ended and the rings are quiescent.
+func (s *Server) ExportSessions() *durable.SessionSpill {
+	sp := &durable.SessionSpill{}
+	for _, c := range s.coreList() {
+		c.mu.Lock()
+		if c.retired || len(c.subs) == 0 {
+			c.mu.Unlock()
+			continue
+		}
+		parkedAt := c.parkedAt
+		if parkedAt.IsZero() {
+			parkedAt = time.Now()
+		}
+		rec := durable.SessionRecord{
+			Token:          c.token,
+			Tenant:         c.tenant.tenant.ID,
+			ParkedAtMillis: parkedAt.UnixMilli(),
+		}
+		for _, st := range c.subs {
+			rec.Subs = append(rec.Subs, st.export())
+		}
+		c.mu.Unlock()
+		sort.Slice(rec.Subs, func(i, j int) bool { return rec.Subs[i].ID < rec.Subs[j].ID })
+		sp.Sessions = append(sp.Sessions, rec)
+	}
+	sort.Slice(sp.Sessions, func(i, j int) bool { return sp.Sessions[i].Token < sp.Sessions[j].Token })
+	return sp
+}
+
+// ImportSessions adopts a handoff spill: each record becomes a parked core
+// under its original token, re-subscribed to its queries against this
+// server's (recovered) runtime, with its replay ring reseeded — so a client
+// that last spoke to the old process can Resume here and pick up its seq
+// space where it left off. Ring entries that no longer fit (or subs whose
+// query did not survive the restart) degrade to an explicit Gap or a
+// re-subscribe, never silent loss. The resume window restarts at import.
+// It returns how many sessions were adopted.
+func (s *Server) ImportSessions(sp *durable.SessionSpill) (int, error) {
+	window := s.resumeWindow()
+	if window <= 0 || sp == nil {
+		return 0, nil
+	}
+	adopted := 0
+	for _, rec := range sp.Sessions {
+		if err := s.importSession(rec, window); err != nil {
+			s.logf("server: import session %.8s (tenant %s): %v", rec.Token, rec.Tenant, err)
+			continue
+		}
+		adopted++
+		s.coresImported.Inc()
+	}
+	return adopted, nil
+}
+
+func (s *Server) importSession(rec durable.SessionRecord, window time.Duration) error {
+	if rec.Token == "" || rec.Tenant == "" {
+		return fmt.Errorf("malformed record")
+	}
+	// Resolve the tenant through Auth where possible so caps (MaxStreams)
+	// match what a fresh handshake would grant; fall back to a bare identity
+	// for auth schemes whose tokens are not tenant ids.
+	t, err := s.cfg.Auth(rec.Tenant)
+	if err != nil || t.ID != rec.Tenant {
+		t = Tenant{ID: rec.Tenant}
+	}
+	ts := s.tenantFor(t)
+	c := &sessionCore{
+		srv:      s,
+		token:    rec.Token,
+		tenant:   ts,
+		prefix:   rec.Tenant + string(namespaceDelim),
+		subs:     make(map[uint64]*subState),
+		parkedAt: time.UnixMilli(rec.ParkedAtMillis),
+	}
+	for _, sub := range rec.Subs {
+		st, err := s.importSub(sub)
+		if err != nil {
+			s.logf("server: import session %.8s sub %d (%q): %v", rec.Token, sub.ID, sub.Query, err)
+			continue
+		}
+		c.subs[sub.ID] = st
+	}
+	if len(c.subs) == 0 {
+		return fmt.Errorf("no subscriptions survived import")
+	}
+	s.mu.Lock()
+	if _, taken := s.cores[c.token]; taken {
+		s.mu.Unlock()
+		for _, st := range c.subs {
+			st.sub.Cancel()
+		}
+		return fmt.Errorf("token already live")
+	}
+	s.cores[c.token] = c
+	s.mu.Unlock()
+	c.mu.Lock()
+	for _, st := range c.subs {
+		c.bridges.Add(1)
+		go c.bridge(st)
+	}
+	c.reap = time.AfterFunc(window, func() {
+		c.srv.coresExpired.Inc()
+		c.retireIf(true)
+	})
+	c.mu.Unlock()
+	s.enforceParkCaps(ts)
+	return nil
+}
+
+// importSub rebuilds one subscription ring from its spilled state: a live
+// runtime subscription under the recorded query name, the seq space resumed
+// at the recorded head, and as much of the retained tail as the ring holds.
+// A spilled entry that fails to decode truncates the replayable range below
+// it (base moves past it), surfacing as a Gap.
+func (s *Server) importSub(sub durable.SessionSub) (*subState, error) {
+	rsub, err := s.cfg.Runtime.Subscribe(sub.Query)
+	if err != nil {
+		return nil, err
+	}
+	st := newSubState(sub.ID, sub.Query, rsub, s.replayBuffer())
+	st.head = sub.Head
+	st.cursor = min(max(sub.Cursor, 1), sub.Head+1)
+	st.base = sub.Head + 1 // nothing replayable until entries land below
+	n := uint64(len(st.buf))
+	lo := sub.RingStart
+	if len(sub.Ring) == 0 || sub.Head == 0 {
+		return st, nil
+	}
+	if hi := lo + uint64(len(sub.Ring)) - 1; hi != sub.Head || lo == 0 || lo > sub.Head {
+		return st, nil // inconsistent spill: keep the sub, drop the tail
+	}
+	if floor := sub.Head + 1 - min(n, sub.Head); lo < floor {
+		lo = floor // older entries than the ring holds: they gap
+	}
+	base := lo
+	for seq := lo; seq <= sub.Head; seq++ {
+		a, err := wire.DecodeAnswer(sub.Ring[seq-sub.RingStart])
+		if err != nil {
+			base = seq + 1
+			continue
+		}
+		st.buf[(seq-1)%n] = a
+	}
+	st.base = base
+	return st, nil
+}

@@ -99,6 +99,55 @@ func FuzzResumeDecode(f *testing.F) {
 	})
 }
 
+// FuzzHandoffDecode throws arbitrary bytes at the four Handoff codecs: no
+// panics, no unbounded allocations from hostile file counts or chunk
+// lengths, every accepted value round-trips, and accepted chunks never carry
+// more than MaxHandoffChunk bytes.
+func FuzzHandoffDecode(f *testing.F) {
+	f.Add(AppendHandoffBegin(nil, HandoffBegin{
+		Token: "tok", Source: "a:7070",
+		Files: []HandoffFile{{Name: "ckpt-0000000000000001.ckpt", Size: 128, CRC: 0xdeadbeef}},
+	}))
+	f.Add(AppendHandoffChunk(nil, HandoffChunk{File: 0, Offset: 64, Data: []byte("payload")}))
+	f.Add(AppendHandoffCommit(nil, HandoffCommit{Files: 2, Bytes: 4096, Sessions: 1, Spend: 12.5}))
+	f.Add(AppendHandoffAck(nil, HandoffAck{OK: true, Files: 2, Bytes: 4096}))
+	f.Add(AppendHandoffAck(nil, HandoffAck{Detail: "tally mismatch"}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if h, err := DecodeHandoffBegin(data); err == nil {
+			h2, err := DecodeHandoffBegin(AppendHandoffBegin(nil, h))
+			if err != nil || !reflect.DeepEqual(h, h2) {
+				t.Fatalf("handoff-begin round trip: %+v -> %+v (%v)", h, h2, err)
+			}
+		}
+		if c, err := DecodeHandoffChunk(data); err == nil {
+			if len(c.Data) > MaxHandoffChunk {
+				t.Fatalf("accepted %d-byte chunk past max %d", len(c.Data), MaxHandoffChunk)
+			}
+			c2, err := DecodeHandoffChunk(AppendHandoffChunk(nil, c))
+			if err != nil || c2.File != c.File || c2.Offset != c.Offset || !bytes.Equal(c2.Data, c.Data) {
+				t.Fatalf("handoff-chunk round trip: %+v -> %+v (%v)", c, c2, err)
+			}
+		}
+		if c, err := DecodeHandoffCommit(data); err == nil {
+			// Byte-compare re-encodings: Spend may carry NaN.
+			enc := AppendHandoffCommit(nil, c)
+			c2, err := DecodeHandoffCommit(enc)
+			if err != nil || !bytes.Equal(AppendHandoffCommit(nil, c2), enc) {
+				t.Fatalf("handoff-commit round trip: %+v -> %+v (%v)", c, c2, err)
+			}
+		}
+		if a, err := DecodeHandoffAck(data); err == nil {
+			a2, err := DecodeHandoffAck(AppendHandoffAck(nil, a))
+			if err != nil || !reflect.DeepEqual(a, a2) {
+				t.Fatalf("handoff-ack round trip: %+v -> %+v (%v)", a, a2, err)
+			}
+		}
+	})
+}
+
 // FuzzLivenessDecode covers the Ping/Pong codecs and the Answer codec's gap
 // extension: accepted values must survive a re-encode/re-decode round trip
 // unchanged, and accepted answers must never violate the gap invariants

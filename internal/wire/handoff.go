@@ -1,0 +1,188 @@
+package wire
+
+// Handoff payloads: the partition-handoff leg of the protocol. A draining
+// process streams its quiesced durable state — final checkpoint, WAL
+// segments, spilled session cores — to a takeover peer as a Begin/Chunk*/
+// Commit sequence; the peer answers with one Ack after it has the complete,
+// verified file set staged. The files themselves are already CRC-framed by
+// internal/durable; the per-file CRC here additionally covers the transfer,
+// so a chunk the frame layer accepted but reassembled wrongly is still
+// caught before the receiver adopts anything.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MaxHandoffChunk bounds one HandoffChunk's data slice, keeping individual
+// frames small enough that fault injection (resets mid-transfer) lands
+// between chunks rather than wedging a single huge write.
+const MaxHandoffChunk = 256 << 10
+
+// HandoffFile names one durable file the source is about to stream.
+type HandoffFile struct {
+	// Name is the file's base name inside the durable-state directory. The
+	// receiver rejects names with path separators.
+	Name string
+	// Size is the file's byte length.
+	Size uint64
+	// CRC is the CRC-32/IEEE of the whole file, checked by the receiver
+	// after reassembly.
+	CRC uint32
+}
+
+// HandoffBegin opens a handoff: the source authenticates and announces the
+// complete file set. Files arrive as Chunks in any order; Commit follows the
+// last chunk.
+type HandoffBegin struct {
+	// Token authenticates the source to the takeover listener.
+	Token string
+	// Source names the draining process (address or operator label) for the
+	// receiver's logs.
+	Source string
+	// Files is the full manifest; a Commit with fewer bytes than the
+	// manifest promises is refused.
+	Files []HandoffFile
+}
+
+// HandoffChunk carries one slice of a manifest file.
+type HandoffChunk struct {
+	// File indexes HandoffBegin.Files.
+	File uint64
+	// Offset is the slice's byte offset within the file. Chunks of one file
+	// must arrive in order (offset = bytes received so far).
+	Offset uint64
+	// Data is the slice, at most MaxHandoffChunk bytes.
+	Data []byte
+}
+
+// HandoffCommit ends the stream: every manifest file has been fully sent and
+// the receiver should verify, stage, and adopt the state.
+type HandoffCommit struct {
+	// Files and Bytes recount the manifest as a cheap tally check.
+	Files uint64
+	Bytes uint64
+	// Sessions is how many parked session cores the spilled state carries.
+	Sessions uint64
+	// Spend is the source ledger's total ε spend at freeze. The adopting
+	// process asserts its recovered spend is at least this — the one-sided
+	// invariant carried across the process boundary.
+	Spend float64
+}
+
+// HandoffAck answers a HandoffCommit.
+type HandoffAck struct {
+	// OK reports whether the receiver verified and adopted the file set.
+	OK bool
+	// Detail is the refusal reason when OK is false.
+	Detail string
+	// Files and Bytes are what the receiver actually verified.
+	Files uint64
+	Bytes uint64
+}
+
+// AppendHandoffBegin appends h's payload encoding to dst.
+func AppendHandoffBegin(dst []byte, h HandoffBegin) []byte {
+	dst = appendString(dst, h.Token)
+	dst = appendString(dst, h.Source)
+	dst = binary.AppendUvarint(dst, uint64(len(h.Files)))
+	for _, f := range h.Files {
+		dst = appendString(dst, f.Name)
+		dst = binary.AppendUvarint(dst, f.Size)
+		dst = binary.LittleEndian.AppendUint32(dst, f.CRC)
+	}
+	return dst
+}
+
+// DecodeHandoffBegin decodes a HandoffBegin payload.
+func DecodeHandoffBegin(b []byte) (HandoffBegin, error) {
+	var h HandoffBegin
+	d := decoder{b: b}
+	h.Token = d.string()
+	h.Source = d.string()
+	n := d.uvarint()
+	// Each file entry is at least six bytes (name length, size, fixed CRC).
+	if d.err == nil && n > uint64(len(d.b)-d.off)/6+1 {
+		return h, fmt.Errorf("wire: handoff-begin: file count %d exceeds payload", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		f := HandoffFile{Name: d.string(), Size: d.uvarint(), CRC: d.fixed32()}
+		h.Files = append(h.Files, f)
+	}
+	return h, d.finish("handoff-begin")
+}
+
+// AppendHandoffChunk appends c's payload encoding to dst.
+func AppendHandoffChunk(dst []byte, c HandoffChunk) []byte {
+	dst = binary.AppendUvarint(dst, c.File)
+	dst = binary.AppendUvarint(dst, c.Offset)
+	dst = binary.AppendUvarint(dst, uint64(len(c.Data)))
+	return append(dst, c.Data...)
+}
+
+// DecodeHandoffChunk decodes a HandoffChunk payload. The returned Data
+// aliases b.
+func DecodeHandoffChunk(b []byte) (HandoffChunk, error) {
+	var c HandoffChunk
+	d := decoder{b: b}
+	c.File = d.uvarint()
+	c.Offset = d.uvarint()
+	l := d.uvarint()
+	if d.err == nil && l > MaxHandoffChunk {
+		return c, fmt.Errorf("wire: handoff-chunk: %d bytes exceeds max %d", l, MaxHandoffChunk)
+	}
+	if d.err == nil && l > uint64(len(d.b)-d.off) {
+		return c, fmt.Errorf("wire: handoff-chunk: %d bytes exceeds payload", l)
+	}
+	if d.err == nil {
+		c.Data = d.b[d.off : d.off+int(l)]
+		d.off += int(l)
+	}
+	return c, d.finish("handoff-chunk")
+}
+
+// AppendHandoffCommit appends c's payload encoding to dst.
+func AppendHandoffCommit(dst []byte, c HandoffCommit) []byte {
+	dst = binary.AppendUvarint(dst, c.Files)
+	dst = binary.AppendUvarint(dst, c.Bytes)
+	dst = binary.AppendUvarint(dst, c.Sessions)
+	return appendFloat(dst, c.Spend)
+}
+
+// DecodeHandoffCommit decodes a HandoffCommit payload.
+func DecodeHandoffCommit(b []byte) (HandoffCommit, error) {
+	var c HandoffCommit
+	d := decoder{b: b}
+	c.Files = d.uvarint()
+	c.Bytes = d.uvarint()
+	c.Sessions = d.uvarint()
+	c.Spend = d.float()
+	return c, d.finish("handoff-commit")
+}
+
+// AppendHandoffAck appends a's payload encoding to dst.
+func AppendHandoffAck(dst []byte, a HandoffAck) []byte {
+	var bits byte
+	if a.OK {
+		bits = 1
+	}
+	dst = append(dst, bits)
+	dst = appendString(dst, a.Detail)
+	dst = binary.AppendUvarint(dst, a.Files)
+	return binary.AppendUvarint(dst, a.Bytes)
+}
+
+// DecodeHandoffAck decodes a HandoffAck payload.
+func DecodeHandoffAck(b []byte) (HandoffAck, error) {
+	var a HandoffAck
+	d := decoder{b: b}
+	bits := d.byte()
+	if d.err == nil && bits&^byte(1) != 0 {
+		return a, fmt.Errorf("wire: handoff-ack: unknown flag bits %#x", bits)
+	}
+	a.OK = bits&1 != 0
+	a.Detail = d.string()
+	a.Files = d.uvarint()
+	a.Bytes = d.uvarint()
+	return a, d.finish("handoff-ack")
+}

@@ -39,6 +39,9 @@ const (
 	CodeDraining
 	// CodeInternal is a server-side failure serving the request.
 	CodeInternal
+	// CodeThrottled is a request refused by the tenant's events/s rate
+	// limit; the Error's RetryAfterMillis says when capacity returns.
+	CodeThrottled
 )
 
 // Hello opens a connection.
@@ -177,6 +180,9 @@ type Error struct {
 	Req  uint64
 	Code uint8
 	Msg  string
+	// RetryAfterMillis is how long the peer should wait before retrying the
+	// request (CodeThrottled; 0 elsewhere — retry policy is the peer's).
+	RetryAfterMillis uint64
 }
 
 // Goodbye announces an orderly close.
@@ -473,7 +479,8 @@ func DecodeAck(b []byte) (Ack, error) {
 func AppendError(dst []byte, e Error) []byte {
 	dst = binary.AppendUvarint(dst, e.Req)
 	dst = append(dst, e.Code)
-	return appendString(dst, e.Msg)
+	dst = appendString(dst, e.Msg)
+	return binary.AppendUvarint(dst, e.RetryAfterMillis)
 }
 
 // DecodeError decodes an Error payload.
@@ -483,6 +490,7 @@ func DecodeError(b []byte) (Error, error) {
 	e.Req = d.uvarint()
 	e.Code = d.byte()
 	e.Msg = d.string()
+	e.RetryAfterMillis = d.uvarint()
 	return e, d.finish("error")
 }
 
@@ -645,6 +653,19 @@ func (d *decoder) string() string {
 	s := string(d.b[d.off+n : d.off+n+int(l)])
 	d.off += n + int(l)
 	return s
+}
+
+func (d *decoder) fixed32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b)-d.off < 4 {
+		d.err = fmt.Errorf("short u32 at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
 }
 
 func (d *decoder) float() float64 {

@@ -43,7 +43,9 @@ type Type uint8
 // Frame types. Client→server: Hello, Ingest, Subscribe, Unsubscribe,
 // RegisterQuery, RegisterPrivate, Resume, Goodbye. Server→client: Welcome,
 // Subscribed, Answer, Resumed, Ack, Error, Goodbye. Either direction:
-// Ping, Pong.
+// Ping, Pong. Process→process (rolling restart): HandoffBegin, HandoffChunk,
+// HandoffCommit from the draining source, HandoffAck back from the takeover
+// target.
 const (
 	invalidType Type = iota
 	// THello opens a connection: protocol handshake plus the auth token.
@@ -81,6 +83,16 @@ const (
 	TResume
 	// TResumed answers a TResume with the subscriptions that were resumed.
 	TResumed
+	// THandoffBegin opens a partition handoff: a draining process announces
+	// the durable files it is about to stream to the takeover peer.
+	THandoffBegin
+	// THandoffChunk carries one bounded slice of a handoff file.
+	THandoffChunk
+	// THandoffCommit ends the file stream and asks the receiver to atomically
+	// adopt the shipped state.
+	THandoffCommit
+	// THandoffAck confirms (or refuses) a HandoffCommit.
+	THandoffAck
 	typeCount
 )
 
@@ -119,6 +131,14 @@ func (t Type) String() string {
 		return "resume"
 	case TResumed:
 		return "resumed"
+	case THandoffBegin:
+		return "handoff-begin"
+	case THandoffChunk:
+		return "handoff-chunk"
+	case THandoffCommit:
+		return "handoff-commit"
+	case THandoffAck:
+		return "handoff-ack"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
