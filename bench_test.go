@@ -11,6 +11,8 @@ package patterndp
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"sync"
@@ -24,6 +26,7 @@ import (
 	"patterndp/internal/dp"
 	"patterndp/internal/event"
 	"patterndp/internal/experiment"
+	"patterndp/internal/metrics"
 	"patterndp/internal/runtime"
 	"patterndp/internal/stream"
 	"patterndp/internal/synth"
@@ -480,7 +483,12 @@ func hotPathQueries(selective bool, width event.Timestamp) []cep.Query {
 // record is then written ahead of its publish, so the wal= rows measure the
 // append-before-publish overhead against the wal-less rows (which must also
 // stay 0 allocs/op — the WAL stages into reused buffers).
-func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive, budget bool, fsync string) {
+// obs enables the full observability stack — a metric registry every layer
+// instruments into plus 1% lifecycle-trace sampling (records discarded) — so
+// the obs=on rows measure the scrape-ready serving path against the
+// unobserved rows of the same shape (which must also stay 0 allocs/op: the
+// instruments are preallocated atomics).
+func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive, budget bool, fsync string, obs bool) {
 	private, err := core.NewPatternType("p", "c0", "c1", "c2")
 	if err != nil {
 		b.Fatal(err)
@@ -516,6 +524,11 @@ func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive, bud
 			b.Fatal(err)
 		}
 		cfg.Durability = &runtime.DurabilityConfig{Dir: b.TempDir(), Fsync: fp}
+	}
+	if obs {
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.TraceSample = 0.01
+		cfg.TraceLog = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	rt, err := runtime.New(cfg)
 	if err != nil {
@@ -578,8 +591,11 @@ func benchServeWindow(b *testing.B, mode string, shards, overlap int, naive, bud
 // budgeted configuration — wal=off (a WAL that syncs only at checkpoints)
 // vs wal=interval (background sync cadence) vs wal=always (sync per
 // publish) — against the wal-less rows of the same shape for the
-// append-before-publish overhead. CI records the results in
-// BENCH_serve.json.
+// append-before-publish overhead. The obs=on rows enable the full
+// observability stack (metric registry + 1% lifecycle-trace sampling) on the
+// budgeted shape at the same corners; compare against the plain budget=on
+// rows for the instrumentation overhead, which must stay within 2% ns/event
+// and 0 allocs/op. CI records the results in BENCH_serve.json.
 func BenchmarkServeWindowHotPath(b *testing.B) {
 	for _, mode := range []string{"selective", "dense"} {
 		for _, shards := range []int{1, 4, 8} {
@@ -588,7 +604,7 @@ func BenchmarkServeWindowHotPath(b *testing.B) {
 					name := fmt.Sprintf("%s/shards=%d/overlap=%d/budget=%s",
 						mode, shards, overlap, map[bool]string{false: "off", true: "on"}[budget])
 					b.Run(name, func(b *testing.B) {
-						benchServeWindow(b, mode, shards, overlap, false, budget, "")
+						benchServeWindow(b, mode, shards, overlap, false, budget, "", false)
 					})
 				}
 			}
@@ -601,7 +617,23 @@ func BenchmarkServeWindowHotPath(b *testing.B) {
 					name := fmt.Sprintf("%s/shards=%d/overlap=%d/budget=on/wal=%s",
 						mode, shards, overlap, fsync)
 					b.Run(name, func(b *testing.B) {
-						benchServeWindow(b, mode, shards, overlap, false, true, fsync)
+						benchServeWindow(b, mode, shards, overlap, false, true, fsync, false)
+					})
+				}
+			}
+		}
+		// The observability dimension, on the budgeted shape at the same
+		// corners. The obs=off rows repeat the plain budget=on shape as an
+		// adjacent baseline — each off/on pair runs back-to-back, so the
+		// overhead ratio is read between neighbors rather than across the
+		// whole matrix's scheduling drift.
+		for _, shards := range []int{1, 8} {
+			for _, overlap := range []int{1, 8} {
+				for _, obs := range []bool{false, true} {
+					name := fmt.Sprintf("%s/shards=%d/overlap=%d/budget=on/obs=%s",
+						mode, shards, overlap, map[bool]string{false: "off", true: "on"}[obs])
+					b.Run(name, func(b *testing.B) {
+						benchServeWindow(b, mode, shards, overlap, false, true, "", obs)
 					})
 				}
 			}
@@ -620,7 +652,7 @@ func BenchmarkServeWindowNaiveSliding(b *testing.B) {
 		for _, shards := range []int{1, 8} {
 			for _, overlap := range []int{4, 8} {
 				b.Run(fmt.Sprintf("%s/shards=%d/overlap=%d", mode, shards, overlap), func(b *testing.B) {
-					benchServeWindow(b, mode, shards, overlap, true, false, "")
+					benchServeWindow(b, mode, shards, overlap, true, false, "", false)
 				})
 			}
 		}

@@ -76,7 +76,9 @@ import (
 	"patterndp/internal/core"
 	"patterndp/internal/dp"
 	"patterndp/internal/event"
+	"patterndp/internal/metrics"
 	"patterndp/internal/runtime"
+	"patterndp/internal/server"
 	"patterndp/internal/synth"
 )
 
@@ -103,6 +105,9 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "background checkpoint cadence under -wal-dir (0 = only on drain)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+
+		adminAddr   = flag.String("admin", "", "serve the admin HTTP endpoint (/metrics /healthz /readyz /statsz /debug/pprof) on this address (e.g. :9090)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of ingest batches lifecycle-traced end to end (0 = off, 1 = every batch); traced batches emit ppm.trace slog records and feed the ppm_trace_* histograms")
 
 		listen       = flag.String("listen", "", "serve tenants over TCP on this address instead of replaying locally (e.g. :7070)")
 		connect      = flag.String("connect", "", "run as a tenant client against a -listen server at this address")
@@ -145,11 +150,11 @@ func main() {
 		switch {
 		case *listen != "":
 			ho := handoffOpts{To: *handoffTo, Takeover: *takeover, Token: *handoffToken}
-			return runServer(*listen, *maxStreams, *drainTimeout, *heartbeat, *resumeWindow, *replayBuffer, *rateLimit, *maxParked, ho, *shards, *eps, *seed, *buffer, *bp, *lateness, *horizon, *slide, *naive, *windows, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
+			return runServer(*listen, *maxStreams, *drainTimeout, *heartbeat, *resumeWindow, *replayBuffer, *rateLimit, *maxParked, ho, *adminAddr, *traceSample, *shards, *eps, *seed, *buffer, *bp, *lateness, *horizon, *slide, *naive, *windows, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
 		case *connect != "":
 			return runClient(*connect, *tenantName, *streams, *windows, *batch, *seed, *reconnect)
 		}
-		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch, *slide, *naive, *snap, *budget, *budgetPol, *walDir, *fsync, *ckptEvery)
+		return run(*shards, *streams, *windows, *eps, *seed, *buffer, *bp, *lateness, *horizon, *churn, *batch, *slide, *naive, *snap, *budget, *budgetPol, *walDir, *fsync, *ckptEvery, *adminAddr, *traceSample)
 	}
 	if err := profiledRun(); err != nil {
 		fmt.Fprintln(os.Stderr, "ppmserve:", err)
@@ -172,8 +177,10 @@ func main() {
 
 // buildRuntime assembles the runtime configuration shared by the replay and
 // -listen modes: the synthetic dataset supplies the window width, private
-// types, and (shared) target queries; the flags supply everything else.
-func buildRuntime(shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) (*runtime.Runtime, *synth.Dataset, synth.Config, error) {
+// types, and (shared) target queries; the flags supply everything else. reg
+// (which may be nil) receives the runtime's metrics and traceSample enables
+// the sampled event-lifecycle trace.
+func buildRuntime(shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration, reg *metrics.Registry, traceSample float64) (*runtime.Runtime, *synth.Dataset, synth.Config, error) {
 	policy, err := account.ParsePolicy(budgetPol)
 	if err != nil {
 		return nil, nil, synth.Config{}, err
@@ -200,6 +207,8 @@ func buildRuntime(shards int, eps float64, seed int64, buffer int, bp string, la
 		ShardBuffer:  buffer,
 		Budget:       dp.Epsilon(budget),
 		BudgetPolicy: policy,
+		Metrics:      reg,
+		TraceSample:  traceSample,
 	}
 	switch bp {
 	case "block":
@@ -245,7 +254,7 @@ func buildRuntime(shards int, eps float64, seed int64, buffer int, bp string, la
 	return rt, ds, scfg, nil
 }
 
-func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int, slide int64, naive bool, snap time.Duration, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
+func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp string, lateness, horizon int64, churn float64, batch int, slide int64, naive bool, snap time.Duration, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration, adminAddr string, traceSample float64) error {
 	if batch < 1 {
 		return fmt.Errorf("batch size %d must be >= 1", batch)
 	}
@@ -254,9 +263,23 @@ func run(shards, streams, windows int, eps float64, seed int64, buffer int, bp s
 	// the budget snapshot) still prints; a second signal aborts.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	rt, ds, scfg, err := buildRuntime(shards, eps, seed, buffer, bp, lateness, horizon, slide, naive, windows, budget, budgetPol, walDir, fsync, ckptEvery)
+	// Local replay only pays for observability when asked: the registry
+	// exists iff -admin or -trace-sample is set.
+	var reg *metrics.Registry
+	if adminAddr != "" || traceSample > 0 {
+		reg = metrics.NewRegistry()
+	}
+	rt, ds, scfg, err := buildRuntime(shards, eps, seed, buffer, bp, lateness, horizon, slide, naive, windows, budget, budgetPol, walDir, fsync, ckptEvery, reg, traceSample)
 	if err != nil {
 		return err
+	}
+	if adminAddr != "" {
+		closeAdmin, err := startAdmin(adminAddr, server.NewAdmin(server.AdminConfig{Registry: reg, Runtime: rt}))
+		if err != nil {
+			rt.Close()
+			return err
+		}
+		defer closeAdmin()
 	}
 	base := ds.Events()
 	targets := ds.TargetQueries()

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -32,6 +33,7 @@ import (
 
 	"patterndp/internal/durable"
 	"patterndp/internal/event"
+	"patterndp/internal/metrics"
 	"patterndp/internal/runtime"
 	"patterndp/internal/server"
 	"patterndp/internal/synth"
@@ -47,20 +49,48 @@ type handoffOpts struct {
 	Token    string
 }
 
+// startAdmin serves the admin HTTP endpoint on addr; the returned func closes
+// its listener.
+func startAdmin(addr string, adm *server.Admin) (func(), error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listen: %w", err)
+	}
+	fmt.Printf("admin endpoint on http://%s (/metrics /healthz /readyz /statsz /debug/pprof)\n", l.Addr())
+	go http.Serve(l, adm)
+	return func() { l.Close() }, nil
+}
+
+// handoffPhase returns the timer histogram for one rolling-restart phase.
+// With a nil registry it returns a detached (unregistered) histogram, so the
+// timing call sites need no gates.
+func handoffPhase(reg *metrics.Registry, phase string) *metrics.Histogram {
+	return reg.Histogram("ppm_handoff_phase_seconds",
+		"Rolling-restart handoff phase durations: freeze (drain and pane-boundary quiesce), spill (session export), ship (directory transfer to the peer), receive (inbound transfer and verify).",
+		metrics.L("phase", phase))
+}
+
 // runServer is the -listen mode: one shared runtime, many tenant
 // connections, graceful drain on the first signal.
-func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindow time.Duration, replayBuffer int, rateLimit float64, maxParked int, ho handoffOpts, shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
+func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindow time.Duration, replayBuffer int, rateLimit float64, maxParked int, ho handoffOpts, adminAddr string, traceSample float64, shards int, eps float64, seed int64, buffer int, bp string, lateness, horizon, slide int64, naive bool, windows int, budget float64, budgetPol, walDir, fsync string, ckptEvery time.Duration) error {
+	// The -listen mode is always observed: one registry spans runtime,
+	// durability, serving layer, and handoff phases whether or not an
+	// -admin listener exposes it (the shutdown report reads it regardless).
+	reg := metrics.NewRegistry()
+	start := time.Now()
 	var adopted *server.HandoffSummary
 	if ho.Takeover != "" {
+		recvStart := time.Now()
 		sum, err := acceptHandoff(ho.Takeover, walDir, ho.Token)
 		if err != nil {
 			return fmt.Errorf("takeover failed (source still authoritative): %w", err)
 		}
+		handoffPhase(reg, "receive").ObserveSince(recvStart)
 		adopted = &sum
 		fmt.Printf("takeover: adopted %d files (%d bytes) from %s — %d sessions, source spend %.4g\n",
 			sum.Files, sum.Bytes, sum.Source, sum.Sessions, sum.Spend)
 	}
-	rt, ds, scfg, err := buildRuntime(shards, eps, seed, buffer, bp, lateness, horizon, slide, naive, windows, budget, budgetPol, walDir, fsync, ckptEvery)
+	rt, ds, scfg, err := buildRuntime(shards, eps, seed, buffer, bp, lateness, horizon, slide, naive, windows, budget, budgetPol, walDir, fsync, ckptEvery, reg, traceSample)
 	if err != nil {
 		return err
 	}
@@ -86,12 +116,21 @@ func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindo
 		ReplayBuffer:      replayBuffer,
 		RateLimit:         rateLimit,
 		MaxParkedSessions: maxParked,
+		Metrics:           reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "server: "+format+"\n", args...)
 		},
 	})
 	if err != nil {
 		return err
+	}
+	if adminAddr != "" {
+		closeAdmin, err := startAdmin(adminAddr, server.NewAdmin(server.AdminConfig{Registry: reg, Runtime: rt, Server: srv}))
+		if err != nil {
+			rt.Close()
+			return err
+		}
+		defer closeAdmin()
 	}
 	if walDir != "" {
 		// Adopt any spilled sessions (from a handoff or a plain drain with the
@@ -138,7 +177,7 @@ func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindo
 	}
 
 	if ho.To != "" {
-		return handoffDrain(srv, rt, walDir, addr, ho, drainTimeout, budget > 0)
+		return handoffDrain(srv, rt, reg, start, walDir, addr, ho, drainTimeout, budget > 0)
 	}
 	fmt.Printf("\ndraining (timeout %v) — new ingest refused, sessions told goodbye\n", drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
@@ -169,7 +208,9 @@ func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindo
 		}
 	}
 
-	printTenantReport(srv, budget > 0)
+	// The shutdown report prints from the same CollectStatsz document the
+	// /statsz endpoint serves, so the two views can never disagree.
+	printServeReport(server.CollectStatsz(reg, rt, srv, time.Since(start)), budget > 0)
 	if walDir != "" && closeErr == nil {
 		fmt.Printf("\ndurable state checkpointed to %s — restart with the same -wal-dir to resume\n", walDir)
 	}
@@ -181,10 +222,11 @@ func runServer(addr string, maxStreams int, drainTimeout, heartbeat, resumeWindo
 // to the takeover peer, and exit 0 once the peer has verified and acked it.
 // Any failure leaves the local directory authoritative — the operator
 // restarts this side instead.
-func handoffDrain(srv *server.Server, rt *runtime.Runtime, walDir, addr string, ho handoffOpts, drainTimeout time.Duration, withBudget bool) error {
+func handoffDrain(srv *server.Server, rt *runtime.Runtime, reg *metrics.Registry, start time.Time, walDir, addr string, ho handoffOpts, drainTimeout time.Duration, withBudget bool) error {
 	fmt.Printf("\nhandoff drain (timeout %v) — freezing at a pane boundary, shipping partition to %s\n", drainTimeout, ho.To)
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
+	freezeStart := time.Now()
 	srv.DrainForHandoff()
 	if err := srv.Wait(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "handoff drain timeout: remaining sessions force-closed\n")
@@ -192,14 +234,18 @@ func handoffDrain(srv *server.Server, rt *runtime.Runtime, walDir, addr string, 
 	if err := rt.Freeze(ctx); err != nil {
 		return fmt.Errorf("handoff freeze: %w (durable state intact in %s)", err, walDir)
 	}
+	handoffPhase(reg, "freeze").ObserveSince(freezeStart)
 	var spend float64
 	if b := rt.Snapshot().Budget; b != nil {
 		spend = float64(b.Spent)
 	}
+	spillStart := time.Now()
 	sp := srv.ExportSessions()
 	if err := durable.WriteSessions(walDir, sp); err != nil {
 		return fmt.Errorf("handoff spill: %w", err)
 	}
+	handoffPhase(reg, "spill").ObserveSince(spillStart)
+	shipStart := time.Now()
 	conn, err := net.Dial("tcp", ho.To)
 	if err != nil {
 		return fmt.Errorf("handoff dial: %w (durable state intact in %s)", err, walDir)
@@ -209,9 +255,10 @@ func handoffDrain(srv *server.Server, rt *runtime.Runtime, walDir, addr string, 
 	if err != nil {
 		return fmt.Errorf("handoff: %w (durable state intact in %s)", err, walDir)
 	}
+	handoffPhase(reg, "ship").ObserveSince(shipStart)
 	fmt.Printf("handoff complete: %d files (%d bytes), %d sessions, frozen spend %.4g — peer acked\n",
 		sum.Files, sum.Bytes, sum.Sessions, sum.Spend)
-	printTenantReport(srv, withBudget)
+	printServeReport(server.CollectStatsz(reg, rt, srv, time.Since(start)), withBudget)
 	return nil
 }
 
@@ -239,12 +286,19 @@ func quotaString(n int) string {
 	return fmt.Sprintf("%d streams", n)
 }
 
-// printTenantReport is the final per-tenant breakdown: serving and
-// resilience counters and, under a budget, each tenant's live ε position.
-func printTenantReport(srv *server.Server, withBudget bool) {
-	st := srv.Stats()
+// printServeReport is the final breakdown printed at shutdown: serving and
+// resilience counters per tenant, latency summaries, and, under a budget,
+// each tenant's live ε position. It prints from a CollectStatsz document —
+// the exact payload the /statsz endpoint serves — so the report and a final
+// scrape can never disagree.
+func printServeReport(z server.Statsz, withBudget bool) {
+	st := *z.Server
 	fmt.Printf("\nserved %d connections (%d auth failures); sessions: %d parked, %d expired unresumed\n",
 		st.ConnsTotal, st.AuthFailures, st.SessionsParked, st.SessionsExpired)
+	if tot := z.Runtime.Totals(); tot.EventsIn > 0 {
+		fmt.Printf("ingested %d events — %.0f events/s over %s\n",
+			tot.EventsIn, z.EventsPerSec, z.Runtime.Uptime.Round(time.Millisecond))
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	if withBudget {
 		fmt.Fprintln(tw, "tenant\tstreams\tevents\tanswers\tdropped\tresumes\treplayed\tgaps\twr-timeouts\tspent eps\tmax stream\texhausted")
@@ -265,6 +319,15 @@ func printTenantReport(srv *server.Server, withBudget bool) {
 		}
 	}
 	tw.Flush()
+	if len(z.Latencies) > 0 {
+		fmt.Println("\nlatencies (ms):")
+		ltw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(ltw, "metric\tcount\tmean\tp50\tp99\tmax")
+		for _, l := range z.Latencies {
+			fmt.Fprintf(ltw, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\n", l.Metric, l.Count, l.MeanMs, l.P50Ms, l.P99Ms, l.MaxMs)
+		}
+		ltw.Flush()
+	}
 }
 
 // runClient is the -connect mode: replay the synthetic feed to a server as
@@ -386,7 +449,7 @@ feed:
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("ingested %d events in %v — %.0f events/s\n",
-		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+		sent, elapsed.Round(time.Millisecond), metrics.Rate(int64(sent), elapsed))
 
 	// Trailing windows stay open server-side until its drain; give in-flight
 	// answers a moment, then detach.

@@ -66,6 +66,20 @@ func (l *Ledger) CountRotation() { l.rotations.Inc() }
 // Rotations returns the applied budget-epoch rotation count.
 func (l *Ledger) Rotations() int64 { return l.rotations.Load() }
 
+// Decisions sums the lifetime admission-decision counters across shards.
+// Unlike Snapshot it takes no locks and walks no stream maps — just one
+// atomic load per shard per counter — so metric scrapes can call it at any
+// rate.
+func (l *Ledger) Decisions() (admitted, denied, suppressed, throttled int64) {
+	for _, sh := range l.shards {
+		admitted += sh.admitted.Load()
+		denied += sh.denied.Load()
+		suppressed += sh.suppressed.Load()
+		throttled += sh.throttled.Load()
+	}
+	return admitted, denied, suppressed, throttled
+}
+
 // querySpend is one epoch's per-query spend attribution: names are the
 // control state's target names in sorted order, cells the attributed ε.
 // The slice pair is immutable once published; the cells are single-writer.

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"patterndp/internal/account"
 	"patterndp/internal/event"
@@ -106,6 +107,12 @@ func (l *Log) WriteCheckpoint(ck *Checkpoint) error {
 	if l.crashed.Load() {
 		return ErrCrashed
 	}
+	if l.ckptH != nil {
+		start := time.Now()
+		defer func() {
+			l.ckptH.ObserveSince(start)
+		}()
+	}
 	// Make the WAL durable up to the LSNs the checkpoint claims to have
 	// consumed before the checkpoint can supersede (and prune) them.
 	if err := l.SyncAll(); err != nil {
@@ -174,6 +181,9 @@ func (l *Log) WriteCheckpoint(ck *Checkpoint) error {
 		return fmt.Errorf("durable: checkpoint: %w", err)
 	}
 	syncDir(l.dir)
+	if l.ckptC != nil {
+		l.ckptC.Inc()
+	}
 	l.ckptSeq = ck.ID
 	l.consumed[ControlShard] = ck.ControlLSN
 	for _, sc := range ck.Shards {

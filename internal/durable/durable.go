@@ -62,6 +62,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"patterndp/internal/metrics"
 )
 
 // FsyncPolicy selects when WAL writes are forced to stable storage. See the
@@ -117,6 +119,11 @@ type Options struct {
 	// SegmentBytes bounds a segment file's size; an appender rotates to a
 	// fresh segment once the bound is passed. Default: 64 MiB.
 	SegmentBytes int64
+	// Metrics, when set, registers WAL and checkpoint instrumentation on
+	// the registry: commit, fsync, and checkpoint-write latency histograms
+	// plus committed-record counters. Nil leaves the durable layer
+	// unmeasured with zero timing overhead on the commit path.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {

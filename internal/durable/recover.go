@@ -155,6 +155,13 @@ func Open(dir string, opts Options) (*Log, error) {
 		!rec.Truncated && rec.SkippedCheckpoints == 0
 
 	l := &Log{dir: dir, opts: opts, ckptSeq: maxCkptID}
+	if reg := opts.Metrics; reg != nil {
+		l.commitH = reg.Histogram("ppm_wal_commit_seconds", "WAL group-commit write latency (staged records to write(2) return).")
+		l.fsyncH = reg.Histogram("ppm_wal_fsync_seconds", "WAL fsync latency (flusher ticks and FsyncAlways commits).")
+		l.ckptH = reg.Histogram("ppm_checkpoint_write_seconds", "Checkpoint serialize+write+rename latency.")
+		l.committedC = reg.Counter("ppm_wal_records_committed_total", "WAL records committed across all appenders.")
+		l.ckptC = reg.Counter("ppm_checkpoints_written_total", "Checkpoints successfully written.")
+	}
 	if !empty {
 		l.recovery = rec
 	}

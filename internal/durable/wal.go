@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"patterndp/internal/metrics"
 )
 
 // Segment layout. Every segment starts with a fixed header:
@@ -62,6 +64,14 @@ type Log struct {
 	ckptSeq  uint64     // last written checkpoint ID
 	consumed map[int]uint64
 	recovery *Recovery
+
+	// Instrumentation (nil without Options.Metrics — appenders gate their
+	// clock reads on commitH so the unmeasured commit path pays nothing).
+	commitH    *metrics.Histogram
+	fsyncH     *metrics.Histogram
+	ckptH      *metrics.Histogram
+	committedC *metrics.Counter
+	ckptC      *metrics.Counter
 }
 
 // Dir returns the WAL directory.
@@ -281,6 +291,10 @@ func (a *Appender) Commit() error {
 }
 
 func (a *Appender) write() error {
+	var start time.Time
+	if a.log.commitH != nil {
+		start = time.Now()
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.f == nil || a.size+int64(len(a.buf)) > a.log.opts.SegmentBytes {
@@ -299,10 +313,21 @@ func (a *Appender) write() error {
 	}
 	a.size += int64(len(a.buf))
 	a.lsn += uint64(a.staged)
+	committed := int64(a.staged)
 	a.discard()
+	if a.log.commitH != nil {
+		a.log.commitH.ObserveSince(start)
+		a.log.committedC.Add(committed)
+	}
 	if a.log.opts.Fsync == FsyncAlways {
+		if a.log.fsyncH != nil {
+			start = time.Now()
+		}
 		if err := a.f.Sync(); err != nil {
 			return fmt.Errorf("durable: fsync shard %d: %w", a.shard, err)
+		}
+		if a.log.fsyncH != nil {
+			a.log.fsyncH.ObserveSince(start)
 		}
 	}
 	return nil
@@ -350,7 +375,13 @@ func (a *Appender) sync() error {
 	if f == nil {
 		return nil
 	}
-	return f.Sync()
+	if a.log.fsyncH == nil {
+		return f.Sync()
+	}
+	start := time.Now()
+	err := f.Sync()
+	a.log.fsyncH.ObserveSince(start)
+	return err
 }
 
 func (a *Appender) close() error {

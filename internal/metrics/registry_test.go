@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("ppm_test_events_total", "events", L("shard", "0"))
+	c2 := r.Counter("ppm_test_events_total", "events", L("shard", "0"))
+	if c1 != c2 {
+		t.Fatalf("same name+labels returned distinct counters")
+	}
+	c3 := r.Counter("ppm_test_events_total", "events", L("shard", "1"))
+	if c1 == c3 {
+		t.Fatalf("distinct labels returned same counter")
+	}
+	h1 := r.Histogram("ppm_test_latency_seconds", "latency")
+	h2 := r.Histogram("ppm_test_latency_seconds", "latency")
+	if h1 != h2 {
+		t.Fatalf("same histogram name returned distinct histograms")
+	}
+}
+
+func TestRegistryLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Gauge("ppm_test_depth", "", L("a", "1"), L("b", "2"))
+	b := r.Gauge("ppm_test_depth", "", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatalf("label order changed series identity")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestRegistryNamingLint(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "no prefix", func() { r.Counter("events_total", "") })
+	mustPanic(t, "uppercase", func() { r.Counter("ppm_Events_total", "") })
+	mustPanic(t, "double underscore", func() { r.Counter("ppm__events_total", "") })
+	mustPanic(t, "trailing underscore", func() { r.Gauge("ppm_depth_", "") })
+	mustPanic(t, "counter suffix", func() { r.Counter("ppm_events", "") })
+	mustPanic(t, "histogram suffix", func() { r.Histogram("ppm_latency", "") })
+	mustPanic(t, "gauge with _total", func() { r.Gauge("ppm_events_total", "") })
+	mustPanic(t, "bad label key", func() { r.Counter("ppm_x_total", "", L("0bad", "v")) })
+	mustPanic(t, "dup label key", func() { r.Counter("ppm_y_total", "", L("k", "1"), L("k", "2")) })
+
+	r.Counter("ppm_kind_total", "")
+	mustPanic(t, "kind mismatch", func() { r.Gauge("ppm_kind_total", "") })
+
+	r.CounterFunc("ppm_fn_total", "", func() float64 { return 1 })
+	mustPanic(t, "dup func", func() { r.CounterFunc("ppm_fn_total", "", func() float64 { return 2 }) })
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("not even a valid name", "").Inc() // nil registry skips validation
+	r.Gauge("x", "").Inc()
+	r.Histogram("y", "").Observe(time.Second)
+	r.CounterFunc("z", "", func() float64 { return 1 })
+	r.GaugeFunc("w", "", func() float64 { return 1 })
+	if g := r.Gather(); g != nil {
+		t.Fatalf("nil Gather = %v", g)
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ppm_events_in_total", "Events admitted.", L("shard", "0")).Add(5)
+	r.Counter("ppm_events_in_total", "Events admitted.", L("shard", "1")).Add(7)
+	r.Gauge("ppm_conns_open", "Open connections.").Inc()
+	r.GaugeFunc("ppm_epoch", "Control epoch.", func() float64 { return 42 })
+	h := r.Histogram("ppm_serve_seconds", "Serve latency.", L("tenant", `a"b\c`))
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(3 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP ppm_events_in_total Events admitted.\n",
+		"# TYPE ppm_events_in_total counter\n",
+		`ppm_events_in_total{shard="0"} 5` + "\n",
+		`ppm_events_in_total{shard="1"} 7` + "\n",
+		"# TYPE ppm_conns_open gauge\n",
+		"ppm_conns_open 1\n",
+		"ppm_epoch 42\n",
+		"# TYPE ppm_serve_seconds histogram\n",
+		`ppm_serve_seconds_bucket{tenant="a\"b\\c",le="+Inf"} 3` + "\n",
+		`ppm_serve_seconds_count{tenant="a\"b\\c"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE ppm_events_in_total counter") != 1 {
+		t.Errorf("TYPE line repeated per series:\n%s", out)
+	}
+	// Only non-empty buckets before +Inf: 3 observations in 2 buckets.
+	if got := strings.Count(out, "ppm_serve_seconds_bucket"); got != 3 {
+		t.Errorf("bucket lines = %d, want 3 (2 populated + Inf)\n%s", got, out)
+	}
+	// Cumulative bucket counts: the last finite bucket equals total count.
+	if !strings.Contains(out, `le="+Inf"} 3`) {
+		t.Errorf("+Inf bucket not cumulative total:\n%s", out)
+	}
+}
+
+func TestGatherOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("ppm_b_metric", "")
+	r.Gauge("ppm_a_metric", "")
+	g := r.Gather()
+	if len(g) != 2 || g[0].Name != "ppm_b_metric" || g[1].Name != "ppm_a_metric" {
+		t.Fatalf("gather not in registration order: %+v", g)
+	}
+}

@@ -83,6 +83,7 @@ func (s *shard) emitBudgeted(key string, st *streamState, ws []stream.Window) bo
 					Epoch:            s.cur.epoch,
 					SpentEpsilon:     out.Spent,
 					RemainingEpsilon: out.Remaining,
+					TraceNanos:       s.trace0,
 					Answer:           a,
 				})
 			}
@@ -101,6 +102,7 @@ func (s *shard) emitBudgeted(key string, st *streamState, ws []stream.Window) bo
 					SpentEpsilon:     out.Spent,
 					RemainingEpsilon: out.Remaining,
 					Suppressed:       true,
+					TraceNanos:       s.trace0,
 				}
 				a.Query = s.cur.targets[k].Name
 				a.WindowIndex = st.next + i

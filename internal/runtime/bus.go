@@ -35,6 +35,12 @@ type Answer struct {
 	// Detected is unconditionally false and the window carries its
 	// interval only. Suppressed answers spend no budget.
 	Suppressed bool
+	// TraceNanos is the lifecycle-trace origin (unix nanoseconds of ingest
+	// admission) when the answer was served from a batch selected by
+	// Config.TraceSample; 0 otherwise. Serving layers use it to observe
+	// end-to-end ingest→deliver latency. It is provenance, not payload —
+	// the wire codec never encodes it.
+	TraceNanos int64
 	core.Answer
 }
 

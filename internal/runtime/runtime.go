@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -183,6 +185,24 @@ type Config struct {
 	// survives restarts. Nil (the default) keeps the runtime fully
 	// in-memory. See DurabilityConfig.
 	Durability *DurabilityConfig
+	// Metrics, when set, registers the runtime's observability surface on
+	// the registry: per-shard serving counters (the same atomics Snapshot
+	// reads), ingest-admission and per-shard window-serving latency
+	// histograms, budget-ledger decision counters and spend gauges, and —
+	// through Durability — WAL commit/fsync/checkpoint histograms. A
+	// registry must back at most one Runtime. Nil (the default) disables
+	// all instrumentation with zero hot-path overhead.
+	Metrics *metrics.Registry
+	// TraceSample, in [0, 1], enables sampled event-lifecycle tracing:
+	// every ~1/TraceSample-th ingest batch is followed through shard hop,
+	// serve, and publish, with stage durations recorded in ppm_trace_*
+	// histograms, answers stamped with Answer.TraceNanos for downstream
+	// delivery timing, and one structured slog record per traced batch.
+	// 0 (the default) disables tracing.
+	TraceSample float64
+	// TraceLog receives the per-traced-batch structured records when
+	// TraceSample is set; nil uses slog.Default().
+	TraceLog *slog.Logger
 }
 
 // newWindower builds one stream's windower for the configuration.
@@ -249,6 +269,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("runtime: invalid Budget %v", c.Budget)
 	case !c.BudgetPolicy.Valid():
 		return fmt.Errorf("runtime: unknown BudgetPolicy %d", c.BudgetPolicy)
+	case c.TraceSample < 0 || c.TraceSample > 1 || math.IsNaN(c.TraceSample):
+		return fmt.Errorf("runtime: TraceSample = %v outside [0,1]", c.TraceSample)
 	}
 	if d := c.Durability; d != nil {
 		switch {
@@ -303,6 +325,10 @@ type Runtime struct {
 	ckptStop chan struct{}
 	ckptWG   sync.WaitGroup
 
+	// obs is the instrumentation state; nil when Config.Metrics and
+	// Config.TraceSample are both unset, and every hot path gates on that.
+	obs *runtimeObs
+
 	// batchPool recycles the per-shard sub-batches IngestBatch routes
 	// through the shard channels; shards return them after serving.
 	batchPool sync.Pool
@@ -335,6 +361,9 @@ func New(cfg Config) (*Runtime, error) {
 		done:     make(chan struct{}),
 		ckptStop: make(chan struct{}),
 	}
+	if cfg.Metrics != nil || cfg.TraceSample > 0 {
+		rt.obs = newRuntimeObs(cfg)
+	}
 	st := newControlState(cfg.Private, cfg.Targets)
 	var rec *durable.Recovery
 	if d := cfg.Durability; d != nil {
@@ -343,6 +372,7 @@ func New(cfg Config) (*Runtime, error) {
 			Fsync:         d.Fsync,
 			FsyncInterval: d.FsyncInterval,
 			SegmentBytes:  d.SegmentBytes,
+			Metrics:       cfg.Metrics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("runtime: durability: %w", err)
@@ -394,6 +424,9 @@ func New(cfg Config) (*Runtime, error) {
 		if err := rt.restore(rec); err != nil {
 			return fail(err)
 		}
+	}
+	if cfg.Metrics != nil {
+		rt.registerMetrics(cfg.Metrics)
 	}
 	rt.wg.Add(len(rt.shards))
 	for _, sh := range rt.shards {
@@ -498,6 +531,14 @@ func (rt *Runtime) IngestBatchContext(ctx context.Context, evs []event.Event) er
 	if rt.closed {
 		return ErrClosed
 	}
+	// Admission timing and trace sampling are per batch, so the per-event
+	// cost amortizes to ~0; an unobserved runtime reads no clock at all.
+	var start time.Time
+	var t0 int64
+	if o := rt.obs; o != nil {
+		start = time.Now()
+		t0 = o.sampleTrace(start)
+	}
 	n := len(rt.shards)
 	// Batches are usually runs of one stream key, so the shard of the
 	// previous key is cached and re-hashing only happens on key change.
@@ -521,7 +562,11 @@ func (rt *Runtime) IngestBatchContext(ctx context.Context, evs []event.Event) er
 		}
 	}
 	if single {
-		return rt.send(ctx, rt.shards[first], ingestMsg{batch: rt.copyBatch(evs)})
+		err := rt.send(ctx, rt.shards[first], ingestMsg{batch: rt.copyBatch(evs), t0: t0})
+		if err == nil && rt.obs != nil {
+			rt.obs.admit.ObserveSince(start)
+		}
+		return err
 	}
 	// Partition into per-shard sub-batches, preserving input order within
 	// each shard (hence per stream key).
@@ -537,7 +582,9 @@ func (rt *Runtime) IngestBatchContext(ctx context.Context, evs []event.Event) er
 		if b == nil {
 			continue
 		}
-		if err := rt.send(ctx, rt.shards[i], ingestMsg{batch: b}); err != nil {
+		// Every sub-batch shares the trace origin: a multi-shard traced
+		// batch records one stage set per touched shard.
+		if err := rt.send(ctx, rt.shards[i], ingestMsg{batch: b, t0: t0}); err != nil {
 			for _, rest := range buckets[i+1:] {
 				if rest != nil {
 					rt.recycleBatch(rest)
@@ -545,6 +592,9 @@ func (rt *Runtime) IngestBatchContext(ctx context.Context, evs []event.Event) er
 			}
 			return err
 		}
+	}
+	if rt.obs != nil {
+		rt.obs.admit.ObserveSince(start)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"patterndp/internal/account"
 	"patterndp/internal/core"
@@ -39,6 +40,9 @@ type ingestMsg struct {
 	ev    event.Event
 	batch []event.Event
 	ckpt  chan<- shardCkptResult
+	// t0 is the trace origin (unix nanoseconds of ingest admission) when
+	// the batch was selected for lifecycle tracing; 0 otherwise.
+	t0 int64
 }
 
 // size returns the number of events the message carries.
@@ -110,6 +114,10 @@ type shard struct {
 	// outcomes of one emit.
 	admScratch []stream.Window
 	outScratch []account.Outcome
+	// trace0 is the trace origin of the message currently being served (0
+	// when untraced): answers emitted while it is set carry it as
+	// Answer.TraceNanos, extending the lifecycle trace to delivery.
+	trace0 int64
 	// lastKey/lastStream cache the most recent stream lookup: batches are
 	// usually runs of one stream, so consecutive events skip the map.
 	lastKey    string
@@ -180,6 +188,15 @@ func (s *shard) run() {
 			msg.ckpt <- shardCkptResult{sc: s.exportCheckpoint()}
 			continue
 		}
+		// A traced message: record the channel dwell (hop) boundary and
+		// arm trace0 so every answer it produces carries the origin.
+		var tHop time.Time
+		var traceN int64
+		if msg.t0 != 0 && s.rt.obs != nil {
+			tHop = time.Now()
+			traceN = msg.size()
+			s.trace0 = msg.t0
+		}
 		if msg.batch == nil {
 			s.stats.eventsIn.Inc()
 			ok = s.serve(msg.ev)
@@ -202,10 +219,18 @@ func (s *shard) run() {
 			}
 			s.rt.recycleBatch(msg.batch)
 		}
+		var tServed time.Time
+		if s.trace0 != 0 {
+			tServed = time.Now()
+		}
 		if ok {
 			// Group commit: one write covers every record staged while
 			// serving this message, then the deferred answers publish.
 			ok = s.flushWAL()
+		}
+		if s.trace0 != 0 {
+			s.rt.obs.finishTrace(s.id, traceN, msg.t0, tHop, tServed)
+			s.trace0 = 0
 		}
 		if !ok {
 			// Serving failed: keep draining so blocked producers and
@@ -328,7 +353,22 @@ func (s *shard) sweep(evict int64) bool {
 // counted but answer nothing (the window index still advances, keeping
 // indices aligned with time). It reports false on the first engine error,
 // which it records for Close to surface.
+//
+// The instrumented wrapper times only emits that actually serve windows —
+// the common no-windows-closed call reads no clock, which is what keeps the
+// obs=on hot path within noise of obs=off.
 func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
+	o := s.rt.obs
+	if o == nil || len(ws) == 0 {
+		return s.emitServe(key, st, ws)
+	}
+	start := time.Now()
+	ok := s.emitServe(key, st, ws)
+	o.serve[s.id].ObserveSince(start)
+	return ok
+}
+
+func (s *shard) emitServe(key string, st *streamState, ws []stream.Window) bool {
 	s.wsScratch = ws[:0]
 	if len(ws) == 0 {
 		return true
@@ -375,7 +415,7 @@ func (s *shard) emit(key string, st *streamState, ws []stream.Window) bool {
 			a.Window.Events = nil
 			a.Window.TypeCounts = nil
 		}
-		s.pubAns = append(s.pubAns, Answer{Stream: key, Shard: s.id, Epoch: s.cur.epoch, Answer: a})
+		s.pubAns = append(s.pubAns, Answer{Stream: key, Shard: s.id, Epoch: s.cur.epoch, TraceNanos: s.trace0, Answer: a})
 	}
 	// Unbudgeted releases carry no ε charge, but the records must still hit
 	// the WAL before the bus sees the answers: replay advances window

@@ -356,6 +356,7 @@ func (c *sessionCore) bridge(st *subState) {
 			Suppressed:       a.Suppressed,
 			SpentEpsilon:     float64(a.SpentEpsilon),
 			RemainingEpsilon: float64(a.RemainingEpsilon),
+			TraceNanos:       a.TraceNanos,
 		}
 		if st.push(wa) {
 			c.tenant.answersDropped.Inc()

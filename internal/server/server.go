@@ -114,6 +114,14 @@ type Config struct {
 	RateLimit float64
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the server's observability series:
+	// connection and session-lifecycle counters, per-tenant serving counters
+	// (labelled tenant=<id>), and the wire encode/decode and end-to-end
+	// delivery latency histograms. A registry must back at most one Server
+	// (its func-backed series cannot be registered twice). Typically the
+	// same registry as runtime.Config.Metrics, so one /metrics scrape covers
+	// the whole pipeline.
+	Metrics *metrics.Registry
 }
 
 // Server accepts tenant connections and serves them from one runtime.
@@ -137,6 +145,12 @@ type Server struct {
 	coresExpired  metrics.Counter
 	coresEvicted  metrics.Counter
 	coresImported metrics.Counter
+
+	// Wire-path histograms, nil without Config.Metrics (sessions gate on
+	// that, so an unobserved server reads no clocks on the frame paths).
+	decodeH  *metrics.Histogram
+	encodeH  *metrics.Histogram
+	deliverH *metrics.Histogram
 }
 
 // heartbeat is the resolved liveness interval (0 = disabled).
@@ -255,13 +269,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ResumeWindow == 0 {
 		cfg.ResumeWindow = 30 * time.Second
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
 		sessions:  make(map[*session]struct{}),
 		tenants:   make(map[string]*tenantState),
 		cores:     make(map[string]*sessionCore),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		s.registerMetrics(cfg.Metrics)
+	}
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -335,6 +353,11 @@ func (s *Server) tenantFor(t Tenant) *tenantState {
 	if ts == nil {
 		ts = &tenantState{tenant: t, streams: make(map[string]struct{})}
 		s.tenants[t.ID] = ts
+		if reg := s.cfg.Metrics; reg != nil {
+			// First sight of the tenant id is the one registration point
+			// (func-backed series cannot be registered twice).
+			registerTenantMetrics(reg, ts)
+		}
 	}
 	return ts
 }

@@ -267,10 +267,17 @@ func (ss *session) handleResume(payload []byte) bool {
 }
 
 func (ss *session) handleIngest(payload []byte) bool {
+	var decStart time.Time
+	if ss.srv.decodeH != nil {
+		decStart = time.Now()
+	}
 	in, err := wire.DecodeIngest(payload, ss.scratch[:0])
 	if err != nil {
 		ss.sendError(0, wire.CodeProto, err.Error())
 		return false
+	}
+	if ss.srv.decodeH != nil {
+		ss.srv.decodeH.ObserveSince(decStart)
 	}
 	ss.scratch = in.Events
 	if ss.srv.Draining() {
@@ -448,9 +455,22 @@ func (ss *session) writeLoop() {
 					if !ok {
 						break
 					}
+					var encStart time.Time
+					if ss.srv.encodeH != nil {
+						encStart = time.Now()
+					}
 					buf = wire.AppendFrame(buf[:0], wire.TAnswer, wire.AppendAnswer(nil, wa))
+					if ss.srv.encodeH != nil {
+						ss.srv.encodeH.ObserveSince(encStart)
+					}
 					if ss.writeBytes(buf) != nil {
 						return
+					}
+					if wa.TraceNanos != 0 && ss.srv.deliverH != nil {
+						// The trace's final stage: the answer from a sampled
+						// ingest batch has left this process for its
+						// subscriber.
+						ss.srv.deliverH.Observe(time.Duration(time.Now().UnixNano() - wa.TraceNanos))
 					}
 					if wa.Gap {
 						ss.tenant.gapsSent.Inc()

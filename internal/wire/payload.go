@@ -143,6 +143,12 @@ type Answer struct {
 	// GapFrom is the first sequence number a Gap marker covers (0 on
 	// ordinary answers).
 	GapFrom uint64
+	// TraceNanos is the lifecycle-trace origin the runtime answer carried
+	// (unix nanoseconds of ingest admission; 0 untraced). It is server-local
+	// provenance, not payload — AppendAnswer never encodes it and
+	// DecodeAnswer always leaves it zero — so the serving process can extend
+	// a sampled trace to the delivery write without widening the protocol.
+	TraceNanos int64
 }
 
 // RegisterQuery registers a target query under the tenant's namespace.
